@@ -1,0 +1,76 @@
+//! Monitoring-plane hot paths: ring admission, flow-table updates, and
+//! DNS metadata extraction per captured packet.
+
+use campuslab::capture::{
+    CaptureArray, Direction, DnsExtractor, FlowTable, FlowTableConfig, PacketRecord, RingConfig,
+    TcpFlags,
+};
+use campuslab::netsim::{GroundTruth, PacketBuilder, Payload, SimTime};
+use campuslab::wire::{DnsMessage, DnsType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn record(i: u64) -> PacketRecord {
+    PacketRecord {
+        ts_ns: i * 1_000,
+        direction: Direction::Inbound,
+        src: IpAddr::from([203, 0, 113, (i % 200) as u8]),
+        dst: IpAddr::from([10, 1, 1, (i % 100) as u8]),
+        protocol: 6,
+        src_port: (1024 + i % 50_000) as u16,
+        dst_port: 443,
+        wire_len: 1_000,
+        ttl: 64,
+        tcp_flags: TcpFlags::default(),
+        flow_id: i / 10,
+        label_app: 2,
+        label_attack: 0,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let recs: Vec<PacketRecord> = (0..4_096).map(record).collect();
+    let mut arr = CaptureArray::new(8, RingConfig::default());
+    let mut i = 0usize;
+    c.bench_function("capture/ring_offer", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            black_box(arr.offer(SimTime(i as u64 * 1_000), &recs[i].flow_key()))
+        })
+    });
+
+    let mut flows = FlowTable::new(FlowTableConfig::default());
+    c.bench_function("capture/flow_table_observe", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            flows.observe(black_box(&recs[i]));
+        })
+    });
+
+    // DNS extraction on a realistic response payload.
+    let msg = DnsMessage::query(9, "cdn.example.org", DnsType::A);
+    let mut payload = Vec::new();
+    msg.emit(&mut payload).unwrap();
+    let mut builder = PacketBuilder::new();
+    let pkt = builder.udp_v4(
+        Ipv4Addr::new(10, 1, 1, 10),
+        Ipv4Addr::new(10, 1, 255, 53),
+        40_000,
+        53,
+        Payload::Bytes(payload),
+        64,
+        GroundTruth::default(),
+    );
+    let mut dns = DnsExtractor::new();
+    c.bench_function("capture/dns_extract", |b| {
+        b.iter(|| black_box(dns.extract(SimTime::ZERO, Direction::Outbound, &pkt)))
+    });
+
+    c.bench_function("capture/serialize_frame_1kB", |b| {
+        b.iter(|| black_box(pkt.to_bytes()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Data-store search performance: the E3 "fast and flexible search" claim
+//! as a tracked benchmark (indexed vs scan, plus ingest).
+
+use campuslab::capture::{Direction, PacketRecord, TcpFlags};
+use campuslab::datastore::{DataStore, PacketQuery};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::net::IpAddr;
+
+fn records(n: u64) -> Vec<PacketRecord> {
+    (0..n)
+        .map(|i| PacketRecord {
+            ts_ns: i * 10_000,
+            direction: Direction::Inbound,
+            src: IpAddr::from([10, 1, (i % 16) as u8 + 1, (i % 200) as u8 + 10]),
+            dst: IpAddr::from([203, 0, 113, (i % 24) as u8 + 1]),
+            protocol: if i % 4 == 0 { 17 } else { 6 },
+            src_port: (1024 + (i * 31) % 60_000) as u16,
+            dst_port: [443, 80, 53, 22][(i % 4) as usize],
+            wire_len: 60 + (i % 1400) as u32,
+            ttl: 64,
+            tcp_flags: TcpFlags::default(),
+            flow_id: i / 20,
+            label_app: (i % 7 + 1) as u16,
+            label_attack: u16::from(i % 100 == 0),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 200_000u64;
+    let mut ds = DataStore::new();
+    ds.ingest_packets(records(n));
+    let host_q = PacketQuery::for_host("10.1.5.14".parse().unwrap());
+    let port_q = PacketQuery::default().port(53);
+
+    c.bench_function("datastore/indexed_host_query_200k", |b| {
+        b.iter(|| black_box(ds.query_packets(&host_q).len()))
+    });
+    c.bench_function("datastore/scan_host_query_200k", |b| {
+        b.iter(|| black_box(ds.scan_packets(&host_q).len()))
+    });
+    c.bench_function("datastore/indexed_port_query_200k", |b| {
+        b.iter(|| black_box(ds.query_packets(&port_q).len()))
+    });
+    let batch = records(10_000);
+    c.bench_function("datastore/ingest_10k", |b| {
+        b.iter_batched(
+            || batch.clone(),
+            |batch| {
+                let mut ds = DataStore::new();
+                ds.ingest_packets(batch);
+                black_box(ds.packets().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

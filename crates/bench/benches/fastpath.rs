@@ -1,0 +1,51 @@
+//! The fast control loop's per-packet decision cost: compiled pipeline vs
+//! distilled tree vs the black-box teachers — the quantitative core of
+//! Figure 2's fast/slow split.
+
+use campuslab::control::{run_development_loop, DevLoopConfig};
+use campuslab::dataplane::fields_from_record;
+use campuslab::features::{packet_dataset, packet_features, LabelMode};
+use campuslab::ml::{Classifier, ForestConfig, RandomForest};
+use campuslab::testbed::{collect, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = collect(&Scenario::small());
+    let dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+    let dataset = packet_dataset(&data.packets, LabelMode::BinaryAttack);
+    let forest = RandomForest::fit(&dataset, ForestConfig::default());
+
+    let rows: Vec<Vec<f64>> = data.packets.iter().take(4_096).map(packet_features).collect();
+    let fields: Vec<_> = data.packets.iter().take(4_096).map(fields_from_record).collect();
+    let mut runtime = dev.program.clone().into_runtime();
+    let mut i = 0usize;
+
+    c.bench_function("fastpath/pipeline_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            black_box(runtime.process(&fields[i]))
+        })
+    });
+    c.bench_function("fastpath/distilled_tree_predict", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            black_box(dev.student.predict(&rows[i]))
+        })
+    });
+    c.bench_function("fastpath/forest_predict", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            black_box(forest.predict(&rows[i]))
+        })
+    });
+    c.bench_function("fastpath/teacher_blackbox_predict", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            black_box(dev.teacher.predict(&rows[i]))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Development-loop stage costs: training, distillation and compilation —
+//! the "slow" loop's budget, tracked.
+
+use campuslab::dataplane::{compile_tree, CompileConfig};
+use campuslab::features::{packet_dataset, LabelMode};
+use campuslab::ml::{DecisionTree, ForestConfig, RandomForest, TreeConfig};
+use campuslab::testbed::{collect, Scenario};
+use campuslab::xai::{distill, DistillConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = collect(&Scenario::small());
+    let dataset = packet_dataset(&data.packets, LabelMode::BinaryAttack);
+    let (train, _) = dataset.split_by_order(0.7);
+    // A slimmed training set keeps per-iteration cost sane.
+    let slim = train.subset(0..train.len().min(8_000));
+
+    c.bench_function("learning/tree_fit_8k", |b| {
+        b.iter(|| black_box(DecisionTree::fit(&slim, TreeConfig::shallow(6)).n_nodes()))
+    });
+    c.bench_function("learning/forest_fit_8k_10trees", |b| {
+        b.iter(|| {
+            black_box(
+                RandomForest::fit(&slim, ForestConfig { n_trees: 10, ..Default::default() })
+                    .total_nodes(),
+            )
+        })
+    });
+    let teacher = RandomForest::fit(&slim, ForestConfig { n_trees: 10, ..Default::default() });
+    c.bench_function("learning/distill_depth5", |b| {
+        b.iter(|| {
+            let (student, _) = distill(
+                &teacher,
+                &slim,
+                DistillConfig {
+                    tree: TreeConfig::shallow(5),
+                    rounds: 1,
+                    samples_per_round: 500,
+                    ..Default::default()
+                },
+            );
+            black_box(student.n_nodes())
+        })
+    });
+    let (student, _) = distill(&teacher, &slim, DistillConfig::default());
+    c.bench_function("learning/compile_tree", |b| {
+        b.iter(|| {
+            let (program, _) = compile_tree(&student, CompileConfig::default(), "bench");
+            black_box(program.n_entries())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Simulator throughput: end-to-end packet events per second on the
+//! canonical campus, which bounds how much traffic every experiment can
+//! afford to push.
+
+use campuslab::netsim::prelude::*;
+use campuslab::traffic::{TrafficGenerator, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn small_campus() -> Campus {
+    Campus::build(CampusConfig {
+        dist_count: 2,
+        access_per_dist: 2,
+        hosts_per_access: 4,
+        external_hosts: 8,
+        ..CampusConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("simulator/build_default_campus", |b| {
+        b.iter(|| black_box(Campus::build(CampusConfig::default()).net.node_count()))
+    });
+
+    // One second of campus traffic, generated once, replayed per iteration.
+    let campus = small_campus();
+    let mut gen = TrafficGenerator::new(
+        &campus,
+        WorkloadConfig {
+            duration: SimDuration::from_secs(1),
+            sessions_per_sec: 20.0,
+            ..WorkloadConfig::default()
+        },
+    );
+    let schedule = gen.generate();
+    let injections = schedule.clone().into_injections();
+    c.bench_function("simulator/run_1s_campus_second", |b| {
+        b.iter_batched(
+            || {
+                let campus = small_campus();
+                (campus.net, injections.clone())
+            },
+            |(mut net, injections)| {
+                for inj in injections {
+                    net.inject(inj.at, inj.node, inj.packet);
+                }
+                black_box(net.run_to_completion().delivered)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("simulator/generate_1s_workload", |b| {
+        b.iter_batched(
+            || {
+                TrafficGenerator::new(
+                    &campus,
+                    WorkloadConfig {
+                        duration: SimDuration::from_secs(1),
+                        sessions_per_sec: 20.0,
+                        ..WorkloadConfig::default()
+                    },
+                )
+            },
+            |mut gen| black_box(gen.generate().len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

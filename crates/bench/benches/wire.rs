@@ -1,0 +1,85 @@
+//! Wire-format hot paths: parse and emit of the protocols the capture
+//! plane touches for every border packet.
+
+use campuslab::wire::udp::PseudoHeader;
+use campuslab::wire::{
+    DnsMessage, DnsType, EthernetRepr, IcmpRepr, Ipv4Repr, TcpControl, TcpRepr,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn frame() -> Vec<u8> {
+    let src = Ipv4Addr::new(10, 1, 1, 10);
+    let dst = Ipv4Addr::new(203, 0, 113, 1);
+    let pseudo = PseudoHeader::V4 { src, dst };
+    let tcp = TcpRepr {
+        src_port: 50_000,
+        dst_port: 443,
+        seq: 12345,
+        ack: 67890,
+        control: TcpControl::ACK,
+        window: 65535,
+        mss: None,
+        window_scale: None,
+    };
+    let mut l4 = Vec::new();
+    tcp.emit(&mut l4, &[0xab; 1200], &pseudo);
+    let ip = Ipv4Repr {
+        src,
+        dst,
+        protocol: campuslab::wire::IpProtocol::Tcp,
+        ttl: 64,
+        payload_len: l4.len(),
+        dscp: 0,
+        identification: 7,
+        dont_fragment: true,
+    };
+    let mut out = Vec::new();
+    EthernetRepr {
+        dst: campuslab::wire::EthernetAddress::from_host_id(1),
+        src: campuslab::wire::EthernetAddress::from_host_id(2),
+        ethertype: campuslab::wire::EtherType::Ipv4,
+    }
+    .emit(&mut out);
+    ip.emit(&mut out);
+    out.extend_from_slice(&l4);
+    out
+}
+
+fn dns_bytes() -> Vec<u8> {
+    let q = DnsMessage::query(7, "cdn.example.org", DnsType::A);
+    let mut out = Vec::new();
+    q.emit(&mut out).unwrap();
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let f = frame();
+    c.bench_function("wire/parse_eth_ip_tcp_1200B", |b| {
+        b.iter(|| {
+            let (eth, l3) = EthernetRepr::parse(black_box(&f)).unwrap();
+            let (ip, l4) = Ipv4Repr::parse(l3).unwrap();
+            let pseudo = PseudoHeader::V4 { src: ip.src, dst: ip.dst };
+            let (tcp, body) = TcpRepr::parse(l4, &pseudo).unwrap();
+            black_box((eth, ip, tcp, body.len()));
+        })
+    });
+    c.bench_function("wire/emit_eth_ip_tcp_1200B", |b| {
+        b.iter(|| black_box(frame()))
+    });
+    let d = dns_bytes();
+    c.bench_function("wire/parse_dns_query", |b| {
+        b.iter(|| black_box(DnsMessage::parse(black_box(&d)).unwrap()))
+    });
+    c.bench_function("wire/emit_icmp_echo", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            IcmpRepr::echo_request(1, 2, &[0; 56]).emit(&mut out);
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates every figure/experiment table in report order and, when an
+//! output path is given as the first argument, writes the combined report
+//! there as well.
+//!
+//! ```sh
+//! cargo run --release -p campuslab-bench --bin all_experiments -- results.txt
+//! ```
+use std::io::Write;
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let mut combined = String::new();
+    for (id, title, runner) in campuslab_bench::all() {
+        let header = format!("\n================ {id}: {title} ================\n\n");
+        print!("{header}");
+        let started = std::time::Instant::now();
+        let body = runner();
+        println!("{body}");
+        println!("[{id} regenerated in {:?}]", started.elapsed());
+        combined.push_str(&header);
+        combined.push_str(&body);
+        combined.push('\n');
+    }
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create report file");
+        f.write_all(combined.as_bytes()).expect("write report");
+        eprintln!("combined report written to {path}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e10_mitigation_styles` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e10_mitigation_styles::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e11_resilience` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e11_resilience::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e12_multiclass` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e12_multiclass::run());
+}

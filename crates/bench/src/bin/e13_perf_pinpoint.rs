@@ -1,0 +1,4 @@
+//! Regenerates the `e13_perf_pinpoint` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e13_perf_pinpoint::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e1_ddos_gate` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e1_ddos_gate::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e2_lossless_capture` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e2_lossless_capture::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e3_datastore_query` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e3_datastore_query::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e4_privacy_utility` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e4_privacy_utility::run());
+}

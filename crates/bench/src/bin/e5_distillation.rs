@@ -1,0 +1,4 @@
+//! Regenerates the `e5_distillation` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e5_distillation::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e6_dataplane_compile` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e6_dataplane_compile::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e7_cross_campus` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e7_cross_campus::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e8_placement` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e8_placement::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `e9_trust_report` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e9_trust_report::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `fig1_dual_role` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::fig1_dual_role::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `fig2_loops` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::fig2_loops::run());
+}

@@ -1,0 +1,93 @@
+//! **E12 — beyond the running example**: the paper imagines *many*
+//! concurrent automation tasks, one per network event class. This
+//! experiment trains a single multi-class detector over a mixed attack
+//! climate (all five campaign kinds at once), reports per-class detection
+//! quality, then compiles one drop program per attack kind and asks the
+//! switch model whether all five fit together.
+
+use crate::table::{f, pct, Table};
+use campuslab::dataplane::{compile_tree, CompileConfig, PipelineProgram, SwitchModel};
+use campuslab::features::{packet_dataset, LabelMode};
+use campuslab::ml::{ConfusionMatrix, ForestConfig, RandomForest, TreeConfig};
+use campuslab::testbed::{collect, AttackScenario, Scenario};
+use campuslab::xai::{distill, DistillConfig};
+use rand::SeedableRng;
+
+/// Run the experiment and render its report.
+pub fn run() -> String {
+    let mut out = String::from("E12: multi-class attack identification + five concurrent tasks\n\n");
+    let mut scenario = Scenario::small();
+    scenario.attack = AttackScenario::Mixed;
+    scenario.workload.duration = campuslab::netsim::SimDuration::from_secs(10);
+    let data = collect(&scenario);
+
+    let dataset = packet_dataset(&data.packets, LabelMode::AttackKind);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE12);
+    let (train, test) = dataset.split_shuffled(0.7, &mut rng);
+    let train = train.balance(4.0, &mut rng);
+    let teacher = RandomForest::fit(&train, ForestConfig::default());
+    let (student, report) = distill(
+        &teacher,
+        &train,
+        DistillConfig { tree: TreeConfig::shallow(8), ..Default::default() },
+    );
+    let cm = ConfusionMatrix::evaluate(&student, &test);
+
+    let mut t = Table::new(&["class", "test rows", "precision", "recall", "F1"]);
+    for class in 0..6usize {
+        let rows = test.y.iter().filter(|&&y| y == class).count();
+        if rows == 0 {
+            continue;
+        }
+        t.row(vec![
+            LabelMode::AttackKind.class_name(class),
+            rows.to_string(),
+            f(cm.precision(class), 3),
+            f(cm.recall(class), 3),
+            f(cm.f1(class), 3),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nstudent: depth {} / {} nodes, fidelity to forest {}\n",
+        report.student_depth,
+        report.student_nodes,
+        pct(report.fidelity)
+    ));
+
+    // One deployable program per attack kind, all resident concurrently.
+    let switch = SwitchModel::default();
+    let programs: Vec<PipelineProgram> = (1..=5usize)
+        .map(|kind| {
+            compile_tree(
+                &student,
+                CompileConfig { drop_class: kind, confidence_gate: 0.8, min_support: 1 },
+                LabelMode::AttackKind.class_name(kind),
+            )
+            .0
+        })
+        .collect();
+    let refs: Vec<&PipelineProgram> = programs.iter().collect();
+    let mut t = Table::new(&["task (drop class)", "TCAM entries", "stage slots"]);
+    for p in &programs {
+        let fp = switch.footprint(p);
+        t.row(vec![p.name.clone(), p.n_entries().to_string(), fp.stage_slots.to_string()]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    match switch.allocate(&refs) {
+        Ok(alloc) => out.push_str(&format!(
+            "\nall five tasks co-resident: {} / {} TCAM entries, {} / {} slots ({:.0}% slot utilization)\n",
+            alloc.tcam_used,
+            alloc.tcam_available,
+            alloc.slots_used,
+            alloc.slots_available,
+            alloc.slot_utilization() * 100.0
+        )),
+        Err(e) => out.push_str(&format!("\nallocation FAILED: {e}\n")),
+    }
+    out.push_str(
+        "\nshape check: volumetric floods (amplification, SYN flood) detect near-\nperfectly; low-and-slow classes (brute force, exfiltration) are harder at\npacket granularity - which is the argument for the flow/window feature\ntiers. Five tasks fit one switch comfortably; the §2 wall is about\nhundreds, not handfuls.\n",
+    );
+    out
+}

@@ -1,0 +1,91 @@
+//! **E3 — the §5 data-store claim**: stored data is "linked and indexed to
+//! provide fast and flexible search capabilities". Measures indexed versus
+//! full-scan latency across query shapes on a sizable store.
+
+use crate::table::{f, Table};
+use campuslab::capture::{Direction, PacketRecord, TcpFlags};
+use campuslab::datastore::{DataStore, PacketQuery};
+use std::net::IpAddr;
+use std::time::Instant;
+
+fn synthetic_store(n: u64) -> DataStore {
+    let mut batch = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        batch.push(PacketRecord {
+            ts_ns: i * 10_000,
+            direction: if i % 3 == 0 { Direction::Inbound } else { Direction::Outbound },
+            src: IpAddr::from([10, 1, (i % 16) as u8 + 1, (i % 200) as u8 + 10]),
+            dst: IpAddr::from([203, 0, 113, (i % 24) as u8 + 1]),
+            protocol: if i % 4 == 0 { 17 } else { 6 },
+            src_port: (1024 + (i * 31) % 60_000) as u16,
+            dst_port: [443, 80, 53, 22, 25, 123][(i % 6) as usize],
+            wire_len: 60 + (i % 1400) as u32,
+            ttl: 64,
+            tcp_flags: TcpFlags { syn: i % 50 == 0, ..Default::default() },
+            flow_id: i / 20,
+            label_app: (i % 7 + 1) as u16,
+            label_attack: u16::from(i % 100 == 0),
+        });
+    }
+    let mut ds = DataStore::new();
+    ds.ingest_packets(batch);
+    ds
+}
+
+fn measure(ds: &DataStore, q: &PacketQuery, indexed: bool, reps: u32) -> (f64, usize) {
+    let mut hits = 0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        hits = if indexed {
+            ds.query_packets(q).len()
+        } else {
+            ds.scan_packets(q).len()
+        };
+    }
+    (start.elapsed().as_secs_f64() * 1e6 / f64::from(reps), hits)
+}
+
+/// Run the experiment and render its report.
+pub fn run() -> String {
+    let n = 500_000u64;
+    let mut out = format!("E3: indexed vs full-scan search over {n} packet records\n\n");
+    let ds = synthetic_store(n);
+    let queries: Vec<(&str, PacketQuery)> = vec![
+        (
+            "host lookup",
+            PacketQuery::for_host("10.1.5.14".parse().unwrap()),
+        ),
+        (
+            "host + time window",
+            PacketQuery::for_host("10.1.5.14".parse().unwrap()).window(1_000_000_000, 3_000_000_000),
+        ),
+        ("service port (dst 53)", PacketQuery::default().port(53)),
+        ("attack packets only", PacketQuery::default().malicious()),
+        (
+            "attack in window",
+            PacketQuery::default().malicious().window(0, 2_000_000_000),
+        ),
+        (
+            "time window only",
+            PacketQuery::in_window(1_000_000_000, 1_200_000_000),
+        ),
+    ];
+    let mut t = Table::new(&["query shape", "hits", "scan us", "indexed us", "speedup"]);
+    for (name, q) in &queries {
+        let (scan_us, scan_hits) = measure(&ds, q, false, 5);
+        let (idx_us, idx_hits) = measure(&ds, q, true, 5);
+        assert_eq!(scan_hits, idx_hits, "index disagrees with scan for {name}");
+        t.row(vec![
+            name.to_string(),
+            idx_hits.to_string(),
+            f(scan_us, 1),
+            f(idx_us, 1),
+            format!("{:.0}x", scan_us / idx_us.max(0.001)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nshape check: selective queries accelerate by orders of magnitude; the\ntime-window query is near-free either way because the table is time-sorted.\nIndexes return exactly what the scan returns (asserted in the harness).\n",
+    );
+    out
+}

@@ -1,0 +1,48 @@
+//! # campuslab-bench
+//!
+//! The experiment harness: one module per figure/experiment in
+//! `EXPERIMENTS.md`, each exposing `run() -> String` (the printed table)
+//! so the thin binaries in `src/bin/` and the `all_experiments` driver
+//! share one implementation. Criterion performance benches live in
+//! `benches/`.
+
+pub mod table;
+pub mod experiments;
+
+pub use experiments::{
+    e10_mitigation_styles, e11_resilience, e12_multiclass, e13_perf_pinpoint, e1_ddos_gate, e2_lossless_capture,
+    e3_datastore_query, e4_privacy_utility, e5_distillation, e6_dataplane_compile,
+    e7_cross_campus, e8_placement, e9_trust_report, fig1_dual_role, fig2_loops,
+};
+
+/// Every experiment, in report order: `(id, title, runner)`.
+pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    vec![
+        ("F1", "Figure 1: the dual role (data source + testbed)", fig1_dual_role::run),
+        ("F2", "Figure 2: slow development loop vs fast control loop", fig2_loops::run),
+        ("E1", "DDoS mitigation confidence gate (\u{2265}90% rule)", e1_ddos_gate::run),
+        ("E2", "Lossless full packet capture envelope", e2_lossless_capture::run),
+        ("E3", "Data store: indexed vs full-scan search", e3_datastore_query::run),
+        ("E4", "Privacy: prefix preservation and model utility", e4_privacy_utility::run),
+        ("E5", "Model extraction: fidelity vs tree depth", e5_distillation::run),
+        ("E6", "Data-plane compilation and concurrent-task ceiling", e6_dataplane_compile::run),
+        ("E7", "Cross-campus reproducibility matrix", e7_cross_campus::run),
+        ("E8", "Inference placement: latency vs suppression", e8_placement::run),
+        ("E9", "Operator trust: evidence audits", e9_trust_report::run),
+        ("E10", "Ablation: hard drop vs rate-limit policing", e10_mitigation_styles::run),
+        ("E11", "Failure injection: road-testing through an outage", e11_resilience::run),
+        ("E12", "Multi-class attack identification, five concurrent tasks", e12_multiclass::run),
+        ("E13", "Performance pinpointing from passive handshake RTTs", e13_perf_pinpoint::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = super::all();
+        assert_eq!(all.len(), 15);
+        let ids: std::collections::HashSet<&str> = all.iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(ids.len(), 15);
+    }
+}

@@ -1,0 +1,340 @@
+//! On-the-fly metadata extraction — the paper's monitoring appliance does
+//! not just store raw packets, it generates "an extensive set of
+//! 'on-the-fly' generated metadata" (§5). CampusLab extracts DNS
+//! transactions (the richest campus metadata source and the input to the
+//! amplification detector) and a light service classification.
+
+use crate::records::{Direction, DnsMetaRecord};
+use campuslab_netsim::{Packet, SimTime, TransportHeader};
+use campuslab_wire::DnsMessage;
+
+/// Extraction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnsExtractorStats {
+    pub port53_packets: u64,
+    pub parsed: u64,
+    pub malformed: u64,
+}
+
+/// Parses DNS out of captured packets.
+#[derive(Debug, Default)]
+pub struct DnsExtractor {
+    pub stats: DnsExtractorStats,
+}
+
+impl DnsExtractor {
+    /// A fresh extractor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to extract a DNS transaction record from a packet.
+    pub fn extract(
+        &mut self,
+        now: SimTime,
+        direction: Direction,
+        pkt: &Packet,
+    ) -> Option<DnsMetaRecord> {
+        let udp = match &pkt.transport {
+            TransportHeader::Udp(u) if u.src_port == 53 || u.dst_port == 53 => u,
+            _ => return None,
+        };
+        self.stats.port53_packets += 1;
+        let bytes = pkt.payload.bytes()?;
+        let msg = match DnsMessage::parse(bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.malformed += 1;
+                return None;
+            }
+        };
+        self.stats.parsed += 1;
+        let (client, server) = if udp.dst_port == 53 {
+            (pkt.network.src(), pkt.network.dst())
+        } else {
+            (pkt.network.dst(), pkt.network.src())
+        };
+        let question = msg.questions.first();
+        Some(DnsMetaRecord {
+            ts_ns: now.as_nanos(),
+            direction,
+            client,
+            server,
+            qname: question.map(|q| q.name.clone()).unwrap_or_default(),
+            qtype: question.map(|q| u16::from(q.qtype)).unwrap_or(0),
+            is_response: msg.flags.response,
+            answer_count: msg.answers.len() as u16,
+            wire_len: pkt.wire_len() as u32,
+            amplification_prone: msg.is_amplification_prone(),
+            label_attack: pkt.truth.attack.unwrap_or(0),
+        })
+    }
+}
+
+/// Estimates TCP round-trip times from handshakes observed at the tap:
+/// SYN out, SYN-ACK back; the gap includes whatever queueing the campus or
+/// the provider added that instant.
+#[derive(Debug, Default)]
+pub struct TcpRttEstimator {
+    /// Outstanding SYNs: (client, server, sport, dport) -> SYN timestamp.
+    pending: std::collections::HashMap<(std::net::IpAddr, std::net::IpAddr, u16, u16), u64>,
+    /// Completed measurements count (for stats).
+    pub measured: u64,
+}
+
+impl TcpRttEstimator {
+    /// A fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one packet; returns a measurement when a handshake completes.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+    ) -> Option<crate::records::TcpRttRecord> {
+        let tcp = match &pkt.transport {
+            TransportHeader::Tcp(t) => t,
+            _ => return None,
+        };
+        let src = pkt.network.src();
+        let dst = pkt.network.dst();
+        if tcp.control.syn && !tcp.control.ack {
+            self.pending
+                .insert((src, dst, tcp.src_port, tcp.dst_port), now.as_nanos());
+            // Bound state: forget very old half-open entries.
+            if self.pending.len() > 100_000 {
+                let cutoff = now.as_nanos().saturating_sub(10_000_000_000);
+                self.pending.retain(|_, &mut t| t >= cutoff);
+            }
+            None
+        } else if tcp.control.syn && tcp.control.ack {
+            // SYN-ACK reverses the 4-tuple.
+            let key = (dst, src, tcp.dst_port, tcp.src_port);
+            let syn_ts = self.pending.remove(&key)?;
+            let rtt_ns = now.as_nanos().saturating_sub(syn_ts);
+            self.measured += 1;
+            Some(crate::records::TcpRttRecord {
+                ts_ns: now.as_nanos(),
+                client: dst,
+                server: src,
+                dst_port: tcp.src_port,
+                rtt_ns,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Half-open handshakes currently tracked.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// A coarse service tag inferred from ports — the kind of cheap enrichment
+/// an appliance attaches to every record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceTag {
+    Dns,
+    Https,
+    Http,
+    Ssh,
+    Smtp,
+    Ntp,
+    Other,
+}
+
+/// Classify by well-known port (either endpoint).
+pub fn service_tag(src_port: u16, dst_port: u16) -> ServiceTag {
+    for p in [dst_port, src_port] {
+        match p {
+            53 => return ServiceTag::Dns,
+            443 => return ServiceTag::Https,
+            80 => return ServiceTag::Http,
+            22 => return ServiceTag::Ssh,
+            25 => return ServiceTag::Smtp,
+            123 => return ServiceTag::Ntp,
+            _ => {}
+        }
+    }
+    ServiceTag::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_netsim::{GroundTruth, PacketBuilder, Payload};
+    use campuslab_wire::{DnsRcode, DnsRecord, DnsRecordData, DnsType, TcpControl, TcpRepr};
+    use std::net::Ipv4Addr;
+
+    fn tcp_pkt(
+        b: &mut PacketBuilder,
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        control: TcpControl,
+    ) -> Packet {
+        b.tcp_v4(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            sport,
+            dport,
+            TcpRepr {
+                src_port: sport,
+                dst_port: dport,
+                seq: 1,
+                ack: 0,
+                control,
+                window: 65535,
+                mss: None,
+                window_scale: None,
+            },
+            Payload::Synthetic(0),
+            GroundTruth::default(),
+        )
+    }
+
+    #[test]
+    fn rtt_estimator_measures_handshakes() {
+        let mut est = TcpRttEstimator::new();
+        let mut b = PacketBuilder::new();
+        let syn = tcp_pkt(&mut b, [10, 1, 1, 10], [203, 0, 113, 1], 40_000, 443, TcpControl::SYN);
+        assert!(est.observe(SimTime::from_millis(100), &syn).is_none());
+        assert_eq!(est.pending_len(), 1);
+        let synack = tcp_pkt(&mut b, [203, 0, 113, 1], [10, 1, 1, 10], 443, 40_000, TcpControl::SYN_ACK);
+        let rec = est.observe(SimTime::from_millis(118), &synack).expect("measured");
+        assert_eq!(rec.rtt_ns, 18_000_000);
+        assert_eq!(rec.client, "10.1.1.10".parse::<std::net::IpAddr>().unwrap());
+        assert_eq!(rec.server, "203.0.113.1".parse::<std::net::IpAddr>().unwrap());
+        assert_eq!(rec.dst_port, 443);
+        assert_eq!(est.pending_len(), 0);
+        assert_eq!(est.measured, 1);
+    }
+
+    #[test]
+    fn unmatched_synack_is_ignored() {
+        let mut est = TcpRttEstimator::new();
+        let mut b = PacketBuilder::new();
+        let synack = tcp_pkt(&mut b, [203, 0, 113, 1], [10, 1, 1, 10], 443, 40_000, TcpControl::SYN_ACK);
+        assert!(est.observe(SimTime::from_millis(5), &synack).is_none());
+        // Plain data packets are ignored entirely.
+        let ack = tcp_pkt(&mut b, [10, 1, 1, 10], [203, 0, 113, 1], 40_000, 443, TcpControl::ACK);
+        assert!(est.observe(SimTime::from_millis(6), &ack).is_none());
+    }
+
+    fn dns_query_packet(qtype: DnsType) -> Packet {
+        let msg = DnsMessage::query(7, "www.example.edu", qtype);
+        let mut bytes = Vec::new();
+        msg.emit(&mut bytes).unwrap();
+        let mut b = PacketBuilder::new();
+        b.udp_v4(
+            Ipv4Addr::new(10, 1, 1, 10),
+            Ipv4Addr::new(10, 1, 255, 53),
+            40_000,
+            53,
+            Payload::Bytes(bytes),
+            64,
+            GroundTruth::default(),
+        )
+    }
+
+    #[test]
+    fn extracts_queries() {
+        let mut x = DnsExtractor::new();
+        let rec = x
+            .extract(SimTime::from_millis(3), Direction::Outbound, &dns_query_packet(DnsType::A))
+            .unwrap();
+        assert_eq!(rec.qname, "www.example.edu");
+        assert_eq!(rec.qtype, 1);
+        assert!(!rec.is_response);
+        assert!(!rec.amplification_prone);
+        assert_eq!(rec.client, "10.1.1.10".parse::<std::net::IpAddr>().unwrap());
+        assert_eq!(x.stats.parsed, 1);
+    }
+
+    #[test]
+    fn flags_any_queries_as_amplification_prone() {
+        let mut x = DnsExtractor::new();
+        let rec = x
+            .extract(SimTime::ZERO, Direction::Outbound, &dns_query_packet(DnsType::Any))
+            .unwrap();
+        assert!(rec.amplification_prone);
+    }
+
+    #[test]
+    fn extracts_fat_responses_with_client_server_orientation() {
+        let query = DnsMessage::query(9, "amp.example.org", DnsType::Any);
+        let answers = (0..12)
+            .map(|_| DnsRecord {
+                name: "amp.example.org".into(),
+                ttl: 60,
+                data: DnsRecordData::Txt(vec![b'x'; 100]),
+            })
+            .collect();
+        let resp = query.answer(answers, DnsRcode::NoError);
+        let mut bytes = Vec::new();
+        resp.emit(&mut bytes).unwrap();
+        let mut b = PacketBuilder::new();
+        let pkt = b.udp_v4(
+            Ipv4Addr::new(203, 0, 113, 1),
+            Ipv4Addr::new(10, 1, 1, 10),
+            53,
+            40_000,
+            Payload::Bytes(bytes),
+            64,
+            GroundTruth { flow_id: 0, app_class: 1, attack: Some(1) },
+        );
+        let mut x = DnsExtractor::new();
+        let rec = x.extract(SimTime::ZERO, Direction::Inbound, &pkt).unwrap();
+        assert!(rec.is_response);
+        assert_eq!(rec.answer_count, 12);
+        assert!(rec.amplification_prone);
+        assert_eq!(rec.label_attack, 1);
+        // The client is the victim, even though the packet flows inbound.
+        assert_eq!(rec.client, "10.1.1.10".parse::<std::net::IpAddr>().unwrap());
+        assert_eq!(rec.server, "203.0.113.1".parse::<std::net::IpAddr>().unwrap());
+    }
+
+    #[test]
+    fn non_dns_and_malformed_are_skipped() {
+        let mut b = PacketBuilder::new();
+        let not_dns = b.udp_v4(
+            Ipv4Addr::new(10, 1, 1, 10),
+            Ipv4Addr::new(10, 1, 1, 11),
+            1000,
+            2000,
+            Payload::Synthetic(64),
+            64,
+            GroundTruth::default(),
+        );
+        let mut x = DnsExtractor::new();
+        assert!(x.extract(SimTime::ZERO, Direction::Outbound, &not_dns).is_none());
+        assert_eq!(x.stats.port53_packets, 0);
+
+        let garbage = b.udp_v4(
+            Ipv4Addr::new(10, 1, 1, 10),
+            Ipv4Addr::new(10, 1, 255, 53),
+            1000,
+            53,
+            Payload::Bytes(vec![1, 2, 3]),
+            64,
+            GroundTruth::default(),
+        );
+        assert!(x.extract(SimTime::ZERO, Direction::Outbound, &garbage).is_none());
+        assert_eq!(x.stats.malformed, 1);
+    }
+
+    #[test]
+    fn service_tags() {
+        assert_eq!(service_tag(40000, 53), ServiceTag::Dns);
+        assert_eq!(service_tag(53, 40000), ServiceTag::Dns);
+        assert_eq!(service_tag(51111, 443), ServiceTag::Https);
+        assert_eq!(service_tag(22, 50000), ServiceTag::Ssh);
+        assert_eq!(service_tag(25, 50000), ServiceTag::Smtp);
+        assert_eq!(service_tag(123, 123), ServiceTag::Ntp);
+        assert_eq!(service_tag(9999, 8888), ServiceTag::Other);
+    }
+}

@@ -1,0 +1,121 @@
+//! Auxiliary sensors: the "complementary data from other available sensors
+//! or sources (e.g., server logs, firewall rules, configuration files,
+//! events)" the paper's data store fuses with packet data (§5).
+
+use crate::records::SensorRecord;
+use std::net::IpAddr;
+
+/// Collects sensor events and hands them over time-sorted, which is the
+/// "time-synchronized" property the data store advertises.
+#[derive(Debug, Default)]
+pub struct SensorHub {
+    events: Vec<SensorRecord>,
+}
+
+impl SensorHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a syslog line.
+    pub fn syslog(&mut self, ts_ns: u64, host: IpAddr, severity: u8, message: impl Into<String>) {
+        self.events.push(SensorRecord::Syslog {
+            ts_ns,
+            host,
+            severity,
+            message: message.into(),
+        });
+    }
+
+    /// Record a firewall verdict.
+    pub fn firewall(&mut self, ts_ns: u64, src: IpAddr, dst: IpAddr, dst_port: u16, allowed: bool) {
+        self.events.push(SensorRecord::Firewall { ts_ns, src, dst, dst_port, allowed });
+    }
+
+    /// Record a device configuration change.
+    pub fn config_change(&mut self, ts_ns: u64, device: impl Into<String>, summary: impl Into<String>) {
+        self.events.push(SensorRecord::ConfigChange {
+            ts_ns,
+            device: device.into(),
+            summary: summary.into(),
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Take all events, sorted by timestamp (stable).
+    pub fn drain_sorted(&mut self) -> Vec<SensorRecord> {
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_by_key(|e| e.ts_ns());
+        events
+    }
+}
+
+/// Merge several already-sorted sensor streams into one sorted stream —
+/// how the data store time-synchronizes sources with different clocks
+/// (after offset correction, which the simulator gets for free).
+pub fn merge_sorted(streams: Vec<Vec<SensorRecord>>) -> Vec<SensorRecord> {
+    let mut all: Vec<SensorRecord> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.ts_ns());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn hub_sorts_on_drain() {
+        let mut hub = SensorHub::new();
+        hub.syslog(300, ip("10.1.255.25"), 4, "deferred delivery");
+        hub.firewall(100, ip("203.0.113.9"), ip("10.1.1.1"), 22, false);
+        hub.config_change(200, "campus-border", "acl 101 updated");
+        assert_eq!(hub.len(), 3);
+        let sorted = hub.drain_sorted();
+        assert!(hub.is_empty());
+        let times: Vec<u64> = sorted.iter().map(|e| e.ts_ns()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn merge_interleaves_streams() {
+        let a = vec![
+            SensorRecord::ConfigChange { ts_ns: 10, device: "a".into(), summary: "x".into() },
+            SensorRecord::ConfigChange { ts_ns: 30, device: "a".into(), summary: "y".into() },
+        ];
+        let b = vec![SensorRecord::ConfigChange {
+            ts_ns: 20,
+            device: "b".into(),
+            summary: "z".into(),
+        }];
+        let merged = merge_sorted(vec![a, b]);
+        let times: Vec<u64> = merged.iter().map(|e| e.ts_ns()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn firewall_events_carry_verdicts() {
+        let mut hub = SensorHub::new();
+        hub.firewall(5, ip("203.0.113.9"), ip("10.1.1.1"), 443, true);
+        match &hub.drain_sorted()[0] {
+            SensorRecord::Firewall { allowed, dst_port, .. } => {
+                assert!(*allowed);
+                assert_eq!(*dst_port, 443);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

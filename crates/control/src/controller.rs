@@ -1,0 +1,394 @@
+//! The online mitigation controller: watches the border tap, runs the
+//! window detector, and — after the placement-dependent installation
+//! latency — inserts victim-scoped drop rules into the border switch's
+//! filter bank. This is experiment E8's machinery: the same detector at
+//! the switch, the controller, or "the cloud" differ only in when the
+//! rule lands.
+
+use crate::detector::{Detection, StreamingWindowDetector};
+use crate::fastloop::FastLoopStats;
+use campuslab_capture::{Direction, PacketRecord};
+use campuslab_dataplane::{Action, FieldExtractor, PipelineProgram, PipelineRuntime};
+use campuslab_netsim::{
+    Commands, Dir, FilterAction, LinkId, Packet, PacketFilter, SimDuration, SimTime,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Where the inference tier runs (experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Compiled rules pre-installed in the switch: reacts from packet one.
+    Switch,
+    /// An on-campus controller: one detection window + a small install RTT.
+    Controller,
+    /// An off-campus analysis service: window + WAN RTT + batch latency.
+    Cloud,
+}
+
+impl Placement {
+    /// Time from "detection decided" to "rule active in the switch".
+    pub fn install_delay(self) -> SimDuration {
+        match self {
+            Placement::Switch => SimDuration::ZERO,
+            Placement::Controller => SimDuration::from_millis(2),
+            Placement::Cloud => SimDuration::from_millis(150),
+        }
+    }
+}
+
+struct BankEntry {
+    scope: Option<IpAddr>,
+    runtime: PipelineRuntime,
+}
+
+struct BankState {
+    extractor: FieldExtractor,
+    entries: Vec<BankEntry>,
+    stats: FastLoopStats,
+}
+
+/// A handle for inserting rules into (and reading stats from) a running
+/// [`BankFilter`] — the control channel to the switch.
+#[derive(Clone)]
+pub struct BankHandle {
+    shared: Arc<Mutex<BankState>>,
+}
+
+impl BankHandle {
+    /// Insert a program, optionally scoped to one destination.
+    pub fn add_program(&self, scope: Option<IpAddr>, program: PipelineProgram) {
+        self.shared
+            .lock()
+            .entries
+            .push(BankEntry { scope, runtime: program.into_runtime() });
+    }
+
+    /// Remove every rule scoped to `victim` (attack over).
+    pub fn remove_scope(&self, victim: IpAddr) {
+        self.shared
+            .lock()
+            .entries
+            .retain(|e| e.scope != Some(victim));
+    }
+
+    /// Number of installed programs.
+    pub fn len(&self) -> usize {
+        self.shared.lock().entries.len()
+    }
+
+    /// True when no programs are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the aggregate filter statistics.
+    pub fn stats(&self) -> FastLoopStatsSnapshot {
+        let s = &self.shared.lock().stats;
+        FastLoopStatsSnapshot {
+            packets: s.packets,
+            dropped: s.dropped,
+            dropped_attack: s.dropped_attack,
+            dropped_benign: s.dropped_benign,
+            passed_attack: s.passed_attack,
+            first_drop: s.first_drop,
+        }
+    }
+}
+
+/// A copyable snapshot of [`FastLoopStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastLoopStatsSnapshot {
+    pub packets: u64,
+    pub dropped: u64,
+    pub dropped_attack: u64,
+    pub dropped_benign: u64,
+    pub passed_attack: u64,
+    pub first_drop: Option<SimTime>,
+}
+
+impl FastLoopStatsSnapshot {
+    /// Of everything dropped, the fraction that was truly attack traffic.
+    pub fn drop_precision(&self) -> f64 {
+        if self.dropped == 0 {
+            return 1.0;
+        }
+        self.dropped_attack as f64 / self.dropped as f64
+    }
+
+    /// Of all attack packets seen, the fraction dropped.
+    pub fn attack_recall(&self) -> f64 {
+        let attacks = self.dropped_attack + self.passed_attack;
+        if attacks == 0 {
+            return 1.0;
+        }
+        self.dropped_attack as f64 / attacks as f64
+    }
+}
+
+/// The switch-resident filter bank: evaluates every installed program on
+/// every packet (scoped entries only on their victim's traffic).
+pub struct BankFilter {
+    shared: Arc<Mutex<BankState>>,
+}
+
+impl BankFilter {
+    /// Create an empty bank; install into the simulator, keep the handle.
+    pub fn new(extractor: FieldExtractor) -> (Box<BankFilter>, BankHandle) {
+        let shared = Arc::new(Mutex::new(BankState {
+            extractor,
+            entries: Vec::new(),
+            stats: FastLoopStats::default(),
+        }));
+        (
+            Box::new(BankFilter { shared: Arc::clone(&shared) }),
+            BankHandle { shared },
+        )
+    }
+}
+
+impl PacketFilter for BankFilter {
+    fn decide(&mut self, now: SimTime, packet: &Packet) -> FilterAction {
+        let mut state = self.shared.lock();
+        state.stats.packets += 1;
+        let is_attack = packet.truth.is_malicious();
+        let fields = state.extractor.from_packet(packet);
+        let dst = packet.network.dst();
+        let mut verdict = FilterAction::Forward;
+        // Split borrow: walk entries while updating stats afterwards.
+        let state = &mut *state;
+        let wire_len = packet.wire_len() as u32;
+        for entry in &mut state.entries {
+            if let Some(scope) = entry.scope {
+                if scope != dst {
+                    continue;
+                }
+            }
+            if entry.runtime.process_at(now.as_nanos(), &fields, wire_len) == Action::Drop {
+                verdict = FilterAction::Drop;
+                break;
+            }
+        }
+        if verdict == FilterAction::Drop {
+            state.stats.dropped += 1;
+            if is_attack {
+                state.stats.dropped_attack += 1;
+            } else {
+                state.stats.dropped_benign += 1;
+            }
+            state.stats.first_drop.get_or_insert(now);
+        } else if is_attack {
+            state.stats.passed_attack += 1;
+        }
+        verdict
+    }
+
+    fn name(&self) -> &str {
+        "filter-bank"
+    }
+}
+
+/// One detection-to-mitigation episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationEvent {
+    pub victim: IpAddr,
+    pub detected_at: SimTime,
+    pub installed_at: SimTime,
+    pub confidence: f64,
+}
+
+/// Controller configuration.
+pub struct MitigationControllerConfig {
+    /// The tapped link the controller watches.
+    pub tap: LinkId,
+    pub placement: Placement,
+    /// Confidence gate for acting (the paper's >= 0.9).
+    pub gate: f64,
+    pub window_ns: u64,
+    pub min_packets: usize,
+    /// The signature program installed (scoped to the victim) on detection.
+    pub program: PipelineProgram,
+}
+
+/// The controller: an implementation of `SimHooks` that closes the loop
+/// from tap observation to rule installation.
+pub struct MitigationController {
+    cfg: MitigationControllerConfig,
+    detector: StreamingWindowDetector,
+    bank: BankHandle,
+    pending: HashMap<u64, Detection>,
+    next_token: u64,
+    /// Completed episodes.
+    pub events: Vec<MitigationEvent>,
+}
+
+impl MitigationController {
+    /// Timer-token namespace for this controller (avoids collisions with
+    /// other hook users).
+    const TOKEN_BASE: u64 = 0x4D49_5449_0000_0000; // "MITI"
+
+    /// Build a controller around a trained window model and a bank handle.
+    pub fn new(
+        cfg: MitigationControllerConfig,
+        model: Box<dyn campuslab_ml::Classifier + Send>,
+        bank: BankHandle,
+    ) -> Self {
+        let detector = StreamingWindowDetector::new(
+            model,
+            campuslab_features::WindowConfig {
+                window_ns: cfg.window_ns,
+                min_packets: cfg.min_packets,
+            },
+            cfg.gate,
+        );
+        MitigationController {
+            cfg,
+            detector,
+            bank,
+            pending: HashMap::new(),
+            next_token: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn handle_detections(&mut self, now: SimTime, detections: Vec<Detection>, cmds: &mut Commands) {
+        for det in detections {
+            // One active mitigation per victim.
+            if self.events.iter().any(|e| e.victim == det.dst)
+                || self.pending.values().any(|p| p.dst == det.dst)
+            {
+                continue;
+            }
+            let token = Self::TOKEN_BASE + self.next_token;
+            self.next_token += 1;
+            self.pending.insert(token, det);
+            cmds.set_timer(now + self.cfg.placement.install_delay(), token);
+        }
+    }
+}
+
+impl campuslab_netsim::SimHooks for MitigationController {
+    fn on_tap(&mut self, now: SimTime, link: LinkId, dir: Dir, packet: &Packet, cmds: &mut Commands) {
+        if link != self.cfg.tap {
+            return;
+        }
+        let rec = PacketRecord::from_packet(now, Direction::from_border_dir(dir), packet);
+        let detections = self.detector.observe(&rec);
+        self.handle_detections(now, detections, cmds);
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, _cmds: &mut Commands) {
+        if let Some(det) = self.pending.remove(&token) {
+            self.bank.add_program(Some(det.dst), self.cfg.program.clone());
+            self.events.push(MitigationEvent {
+                victim: det.dst,
+                detected_at: SimTime(det.window_end_ns),
+                installed_at: now,
+                confidence: det.confidence,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_dataplane::{TableEntry, TernaryMatch, FIELD_ORDER};
+    use campuslab_netsim::Prefix;
+    use campuslab_netsim::{GroundTruth, PacketBuilder, Payload};
+    use std::net::Ipv4Addr;
+
+    fn extractor() -> FieldExtractor {
+        FieldExtractor::new(Prefix::v4(Ipv4Addr::new(10, 1, 0, 0), 16))
+    }
+
+    fn drop_udp53_program() -> PipelineProgram {
+        let mut matches = [TernaryMatch::ANY; FIELD_ORDER.len()];
+        matches[1] = TernaryMatch::exact(53, 16);
+        matches[10] = TernaryMatch::exact(1, 1);
+        PipelineProgram::new(
+            "sig",
+            vec![TableEntry { matches, action: Action::Drop, priority: 1, confidence: 0.95 }],
+        )
+    }
+
+    fn amp_packet(b: &mut PacketBuilder, dst: Ipv4Addr) -> Packet {
+        b.udp_v4(
+            Ipv4Addr::new(203, 0, 113, 1),
+            dst,
+            53,
+            40_000,
+            Payload::Synthetic(1_200),
+            64,
+            GroundTruth { flow_id: 0, app_class: 1, attack: Some(1) },
+        )
+    }
+
+    #[test]
+    fn empty_bank_forwards_everything() {
+        let (mut filter, handle) = BankFilter::new(extractor());
+        let mut b = PacketBuilder::new();
+        let pkt = amp_packet(&mut b, Ipv4Addr::new(10, 1, 1, 10));
+        assert_eq!(filter.decide(SimTime::ZERO, &pkt), FilterAction::Forward);
+        assert!(handle.is_empty());
+        let s = handle.stats();
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.passed_attack, 1);
+    }
+
+    #[test]
+    fn scoped_rule_installs_live_and_drops() {
+        let (mut filter, handle) = BankFilter::new(extractor());
+        let victim = Ipv4Addr::new(10, 1, 1, 10);
+        let mut b = PacketBuilder::new();
+        // Before installation: forwarded.
+        assert_eq!(
+            filter.decide(SimTime::ZERO, &amp_packet(&mut b, victim)),
+            FilterAction::Forward
+        );
+        handle.add_program(Some(IpAddr::V4(victim)), drop_udp53_program());
+        assert_eq!(handle.len(), 1);
+        // After installation: dropped for the victim, not for others.
+        assert_eq!(
+            filter.decide(SimTime::from_millis(1), &amp_packet(&mut b, victim)),
+            FilterAction::Drop
+        );
+        assert_eq!(
+            filter.decide(SimTime::from_millis(2), &amp_packet(&mut b, Ipv4Addr::new(10, 1, 2, 2))),
+            FilterAction::Forward
+        );
+        let s = handle.stats();
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.dropped_attack, 1);
+        assert_eq!(s.first_drop, Some(SimTime::from_millis(1)));
+        // Removal restores forwarding.
+        handle.remove_scope(IpAddr::V4(victim));
+        assert!(handle.is_empty());
+        assert_eq!(
+            filter.decide(SimTime::from_millis(3), &amp_packet(&mut b, victim)),
+            FilterAction::Forward
+        );
+    }
+
+    #[test]
+    fn placement_delays_are_ordered() {
+        assert!(Placement::Switch.install_delay() < Placement::Controller.install_delay());
+        assert!(Placement::Controller.install_delay() < Placement::Cloud.install_delay());
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let s = FastLoopStatsSnapshot {
+            packets: 100,
+            dropped: 10,
+            dropped_attack: 9,
+            dropped_benign: 1,
+            passed_attack: 3,
+            first_drop: None,
+        };
+        assert!((s.drop_precision() - 0.9).abs() < 1e-12);
+        assert!((s.attack_recall() - 0.75).abs() < 1e-12);
+    }
+}

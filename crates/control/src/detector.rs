@@ -1,0 +1,195 @@
+//! A streaming window detector: the control-plane/cloud tier of the fast
+//! loop. Buffers one tumbling window of tap records, classifies each
+//! per-destination cell when the window closes, and emits detections.
+
+use campuslab_capture::PacketRecord;
+use campuslab_features::{aggregate, LabelMode, WindowConfig};
+use campuslab_ml::Classifier;
+use std::net::IpAddr;
+
+/// One detection: a destination flagged in a closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    pub dst: IpAddr,
+    /// Nanosecond timestamp of the end of the window that triggered.
+    pub window_end_ns: u64,
+    pub class: usize,
+    pub confidence: f64,
+    /// Packets in the triggering cell.
+    pub packets: usize,
+}
+
+/// Streaming wrapper over the window aggregator + a trained model.
+pub struct StreamingWindowDetector {
+    model: Box<dyn Classifier + Send>,
+    cfg: WindowConfig,
+    /// Minimum confidence to emit a detection.
+    gate: f64,
+    current_window: Option<u64>,
+    buffer: Vec<PacketRecord>,
+    /// Total records observed.
+    pub observed: u64,
+}
+
+impl StreamingWindowDetector {
+    /// Create a detector around a trained window-feature model.
+    pub fn new(model: Box<dyn Classifier + Send>, cfg: WindowConfig, gate: f64) -> Self {
+        StreamingWindowDetector {
+            model,
+            cfg,
+            gate,
+            current_window: None,
+            buffer: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// Feed one record (records must arrive in time order, as a tap
+    /// produces them). Returns detections for any window that just closed.
+    pub fn observe(&mut self, rec: &PacketRecord) -> Vec<Detection> {
+        self.observed += 1;
+        let w = rec.ts_ns / self.cfg.window_ns;
+        let mut out = Vec::new();
+        match self.current_window {
+            Some(cur) if w != cur => {
+                out = self.close_window(cur);
+                self.current_window = Some(w);
+            }
+            None => self.current_window = Some(w),
+            _ => {}
+        }
+        self.buffer.push(rec.clone());
+        out
+    }
+
+    /// Force-close the open window (end of run).
+    pub fn flush(&mut self) -> Vec<Detection> {
+        match self.current_window.take() {
+            Some(cur) => self.close_window(cur),
+            None => Vec::new(),
+        }
+    }
+
+    fn close_window(&mut self, window: u64) -> Vec<Detection> {
+        let records = std::mem::take(&mut self.buffer);
+        let cells = aggregate(&records, self.cfg, LabelMode::BinaryAttack);
+        let window_end_ns = (window + 1) * self.cfg.window_ns;
+        cells
+            .into_iter()
+            .filter_map(|cell| {
+                let (class, confidence) = self.model.predict_with_confidence(&cell.features);
+                (class != 0 && confidence >= self.gate).then_some(Detection {
+                    dst: cell.dst,
+                    window_end_ns,
+                    class,
+                    confidence,
+                    packets: cell.packets,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::{Direction, TcpFlags};
+
+    /// A "model" that flags any cell with >= 10 packets as class 1 with
+    /// confidence scaling in the count.
+    struct CountModel;
+    impl Classifier for CountModel {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+            let p = (row[0] / 20.0).min(1.0);
+            if row[0] >= 10.0 {
+                vec![1.0 - p, p]
+            } else {
+                vec![1.0, 0.0]
+            }
+        }
+    }
+
+    fn rec(ts: u64, src_last: u8, dst: [u8; 4], attack: u16) -> PacketRecord {
+        PacketRecord {
+            ts_ns: ts,
+            direction: Direction::Inbound,
+            src: IpAddr::from([203, 0, 113, src_last]),
+            dst: IpAddr::from(dst),
+            protocol: 17,
+            src_port: 53,
+            dst_port: 40_000,
+            wire_len: 1_200,
+            ttl: 60,
+            tcp_flags: TcpFlags::default(),
+            flow_id: 0,
+            label_app: 1,
+            label_attack: attack,
+        }
+    }
+
+    fn detector(gate: f64) -> StreamingWindowDetector {
+        StreamingWindowDetector::new(
+            Box::new(CountModel),
+            WindowConfig { window_ns: 1_000_000_000, min_packets: 3 },
+            gate,
+        )
+    }
+
+    #[test]
+    fn detects_after_window_closes() {
+        let mut d = detector(0.8);
+        let victim = [10, 1, 1, 10];
+        // 20 packets in window 0: nothing emitted until window 1 begins.
+        for i in 0..20u64 {
+            let out = d.observe(&rec(i * 1_000, (i % 8) as u8, victim, 1));
+            assert!(out.is_empty());
+        }
+        let detections = d.observe(&rec(1_000_000_500, 1, victim, 1));
+        assert_eq!(detections.len(), 1);
+        let det = &detections[0];
+        assert_eq!(det.dst, IpAddr::from(victim));
+        assert_eq!(det.window_end_ns, 1_000_000_000);
+        assert!(det.confidence >= 0.8);
+        assert_eq!(det.packets, 20);
+    }
+
+    #[test]
+    fn quiet_windows_emit_nothing() {
+        let mut d = detector(0.8);
+        for i in 0..5u64 {
+            d.observe(&rec(i * 1_000, 1, [10, 1, 1, 10], 0));
+        }
+        assert!(d.flush().is_empty()); // 5 packets < 10 threshold
+    }
+
+    #[test]
+    fn gate_suppresses_low_confidence() {
+        let strict = &mut detector(0.99);
+        for i in 0..12u64 {
+            strict.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
+        }
+        // 12 packets -> confidence 0.6 < 0.99.
+        assert!(strict.flush().is_empty());
+        let loose = &mut detector(0.5);
+        for i in 0..12u64 {
+            loose.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
+        }
+        assert_eq!(loose.flush().len(), 1);
+    }
+
+    #[test]
+    fn flush_closes_the_tail_window() {
+        let mut d = detector(0.5);
+        for i in 0..15u64 {
+            d.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
+        }
+        let out = d.flush();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.observed, 15);
+        // After flush, the detector is reusable.
+        assert!(d.flush().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # campuslab-control
+//!
+//! The two loops of the paper's Figure 2:
+//!
+//! * **Development loop (slow, offline)** — [`devloop`]: data store →
+//!   black-box training → XAI model extraction → compilation to a switch
+//!   program, producing a *deployable learning model* with fidelity and
+//!   accuracy reports.
+//! * **Control loop (fast, online)** — [`fastloop`], [`detector`],
+//!   [`controller`]: the deployed program sensing/inferring/reacting per
+//!   packet at the switch, the window detector at the controller or cloud
+//!   tier, and the mitigation controller that closes detection into
+//!   victim-scoped rule installation with placement-dependent latency
+//!   (experiment E8).
+
+//!
+//! ```
+//! use campuslab_control::Placement;
+//!
+//! // The three inference tiers of experiment E8, ordered by reaction time.
+//! assert!(Placement::Switch.install_delay() < Placement::Controller.install_delay());
+//! assert!(Placement::Controller.install_delay() < Placement::Cloud.install_delay());
+//! ```
+
+pub mod fastloop;
+pub mod detector;
+pub mod devloop;
+pub mod controller;
+
+pub use controller::{
+    BankFilter, BankHandle, FastLoopStatsSnapshot, MitigationController,
+    MitigationControllerConfig, MitigationEvent, Placement,
+};
+pub use detector::{Detection, StreamingWindowDetector};
+pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};
+pub use fastloop::{DeployedFilter, FastLoopStats};

@@ -1,0 +1,32 @@
+//! # campuslab-datastore
+//!
+//! The campus data store of the paper's Part-1 proposal: every record the
+//! monitoring plane produces — packets, flows, DNS metadata, sensor events
+//! — "cleaned, curated, time-synchronized and (where possible) labelled,
+//! but also linked and indexed to provide fast and flexible search
+//! capabilities" (§5).
+//!
+//! * [`DataStore`] — time-ordered tables with host/port/attack secondary
+//!   indexes, retention enforcement and storage accounting.
+//! * [`PacketQuery`]/[`FlowQuery`] — composable predicates; every indexed
+//!   query has an equivalent full-scan path so experiment E3 can measure
+//!   the speedup honestly.
+//! * [`stats`] — the mining layer: summaries, top talkers, volume series.
+//!
+//! ```
+//! use campuslab_datastore::{DataStore, PacketQuery};
+//!
+//! let ds = DataStore::new();
+//! let hits = ds.query_packets(&PacketQuery::default().port(53));
+//! assert!(hits.is_empty()); // nothing ingested yet
+//! ```
+
+pub mod persist;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use persist::{load, save, PersistError};
+pub use query::{FlowQuery, PacketQuery};
+pub use stats::{summarize, top_talkers, volume_per_second, StoreSummary};
+pub use store::{DataStore, StorageReport};

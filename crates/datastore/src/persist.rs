@@ -1,0 +1,169 @@
+//! Persistence: the data store survives process restarts (a week of
+//! retention is the paper's example sizing; a store you can't reload is a
+//! cache, not a store). JSON-lines-free single-document format, versioned.
+
+use crate::store::DataStore;
+use campuslab_capture::{DnsMetaRecord, FlowRecord, PacketRecord, SensorRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Current on-disk format version.
+const FORMAT_VERSION: u32 = 1;
+
+/// The serialized snapshot.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    packets: Vec<PacketRecord>,
+    flows: Vec<FlowRecord>,
+    dns: Vec<DnsMetaRecord>,
+    sensors: Vec<SensorRecord>,
+}
+
+/// Errors while saving/loading a store.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    /// The file is a future (or corrupt) version.
+    Version { found: u32, supported: u32 },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(e) => write!(f, "format error: {e}"),
+            PersistError::Version { found, supported } => {
+                write!(f, "unsupported store version {found} (supported {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serialize a store to a writer.
+pub fn save<W: Write>(ds: &DataStore, mut out: W) -> Result<(), PersistError> {
+    let snapshot = Snapshot {
+        version: FORMAT_VERSION,
+        packets: ds.packets().to_vec(),
+        flows: ds.flows().to_vec(),
+        dns: ds.dns().to_vec(),
+        sensors: ds.sensors().to_vec(),
+    };
+    serde_json::to_writer(&mut out, &snapshot)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Load a store from a reader, rebuilding all indexes.
+pub fn load<R: Read>(input: R) -> Result<DataStore, PersistError> {
+    let snapshot: Snapshot = serde_json::from_reader(input)?;
+    if snapshot.version > FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: snapshot.version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut ds = DataStore::new();
+    ds.ingest_packets(snapshot.packets);
+    ds.ingest_flows(snapshot.flows);
+    ds.ingest_dns(snapshot.dns);
+    ds.ingest_sensors(snapshot.sensors);
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PacketQuery;
+    use campuslab_capture::{Direction, TcpFlags};
+    use std::net::IpAddr;
+
+    fn store_with(n: u64) -> DataStore {
+        let mut ds = DataStore::new();
+        ds.ingest_packets(
+            (0..n)
+                .map(|i| PacketRecord {
+                    ts_ns: i * 1_000,
+                    direction: Direction::Inbound,
+                    src: IpAddr::from([10, 1, 1, (i % 200) as u8]),
+                    dst: IpAddr::from([203, 0, 113, 1]),
+                    protocol: 17,
+                    src_port: 53,
+                    dst_port: 40_000,
+                    wire_len: 100 + (i % 500) as u32,
+                    ttl: 60,
+                    tcp_flags: TcpFlags::default(),
+                    flow_id: i,
+                    label_app: 1,
+                    label_attack: u16::from(i % 9 == 0),
+                })
+                .collect(),
+        );
+        ds.ingest_sensors(vec![SensorRecord::ConfigChange {
+            ts_ns: 5,
+            device: "border".into(),
+            summary: "acl change".into(),
+        }]);
+        ds
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_and_indexes() {
+        let ds = store_with(500);
+        let mut buf = Vec::new();
+        save(&ds, &mut buf).unwrap();
+        let loaded = load(&buf[..]).unwrap();
+        assert_eq!(loaded.packets(), ds.packets());
+        assert_eq!(loaded.sensors(), ds.sensors());
+        // Indexes were rebuilt: queries agree with scans.
+        let q = PacketQuery::for_host("10.1.1.7".parse().unwrap()).malicious();
+        let idx: Vec<u64> = loaded.query_packets(&q).iter().map(|r| r.ts_ns).collect();
+        let scan: Vec<u64> = loaded.scan_packets(&q).iter().map(|r| r.ts_ns).collect();
+        assert_eq!(idx, scan);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let ds = store_with(3);
+        let mut buf = Vec::new();
+        save(&ds, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("\"version\":1", "\"version\":999");
+        match load(text.as_bytes()) {
+            Err(PersistError::Version { found: 999, supported: 1 }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_format_error() {
+        assert!(matches!(
+            load(&b"not json"[..]),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let ds = DataStore::new();
+        let mut buf = Vec::new();
+        save(&ds, &mut buf).unwrap();
+        let loaded = load(&buf[..]).unwrap();
+        assert!(loaded.packets().is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! The data store: time-ordered tables with secondary indexes, retention
+//! and storage accounting — "a single platform for collecting, storing,
+//! indexing, mining, and visualizing network data" (paper §5).
+
+use crate::query::{FlowQuery, PacketQuery};
+use campuslab_capture::{DnsMetaRecord, FlowRecord, PacketRecord, SensorRecord};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Approximate serialized sizes for storage accounting.
+const PACKET_RECORD_BYTES: u64 = 96;
+const FLOW_RECORD_BYTES: u64 = 144;
+const DNS_RECORD_BYTES: u64 = 120;
+const SENSOR_RECORD_BYTES: u64 = 96;
+
+/// Storage accounting per table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct StorageReport {
+    pub packet_records: u64,
+    pub flow_records: u64,
+    pub dns_records: u64,
+    pub sensor_records: u64,
+    pub approx_bytes: u64,
+}
+
+/// The campus data store.
+///
+/// Packets keep three secondary indexes — by host (either endpoint), by
+/// destination port, and by attack label — all storing positions into the
+/// time-sorted packet table, so index hits come back in time order and
+/// range predicates stay cheap.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    packets: Vec<PacketRecord>,
+    flows: Vec<FlowRecord>,
+    dns: Vec<DnsMetaRecord>,
+    sensors: Vec<SensorRecord>,
+    by_host: HashMap<IpAddr, Vec<u32>>,
+    by_port: HashMap<u16, Vec<u32>>,
+    by_attack: Vec<u32>,
+    /// Packet-table positions `< indexed_upto` are covered by the indexes.
+    indexed_upto: usize,
+}
+
+impl DataStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a batch of packet records. Batches may arrive unsorted; the
+    /// table is re-sorted and indexes rebuilt when needed.
+    pub fn ingest_packets(&mut self, mut batch: Vec<PacketRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_key(|r| r.ts_ns);
+        let in_order = self
+            .packets
+            .last()
+            .map(|last| batch[0].ts_ns >= last.ts_ns)
+            .unwrap_or(true);
+        self.packets.extend(batch);
+        if !in_order {
+            self.packets.sort_by_key(|r| r.ts_ns);
+            self.rebuild_indexes();
+        } else {
+            for i in self.indexed_upto..self.packets.len() {
+                Self::index_one(
+                    &mut self.by_host,
+                    &mut self.by_port,
+                    &mut self.by_attack,
+                    &self.packets[i],
+                    i as u32,
+                );
+            }
+            self.indexed_upto = self.packets.len();
+        }
+    }
+
+    fn index_one(
+        by_host: &mut HashMap<IpAddr, Vec<u32>>,
+        by_port: &mut HashMap<u16, Vec<u32>>,
+        by_attack: &mut Vec<u32>,
+        rec: &PacketRecord,
+        pos: u32,
+    ) {
+        by_host.entry(rec.src).or_default().push(pos);
+        if rec.dst != rec.src {
+            by_host.entry(rec.dst).or_default().push(pos);
+        }
+        by_port.entry(rec.dst_port).or_default().push(pos);
+        if rec.is_malicious() {
+            by_attack.push(pos);
+        }
+    }
+
+    fn rebuild_indexes(&mut self) {
+        self.by_host.clear();
+        self.by_port.clear();
+        self.by_attack.clear();
+        for (i, rec) in self.packets.iter().enumerate() {
+            Self::index_one(
+                &mut self.by_host,
+                &mut self.by_port,
+                &mut self.by_attack,
+                rec,
+                i as u32,
+            );
+        }
+        self.indexed_upto = self.packets.len();
+    }
+
+    /// Ingest flow records.
+    pub fn ingest_flows(&mut self, mut batch: Vec<FlowRecord>) {
+        self.flows.append(&mut batch);
+        self.flows.sort_by_key(|f| f.first_ts_ns);
+    }
+
+    /// Ingest DNS metadata records.
+    pub fn ingest_dns(&mut self, mut batch: Vec<DnsMetaRecord>) {
+        self.dns.append(&mut batch);
+        self.dns.sort_by_key(|d| d.ts_ns);
+    }
+
+    /// Ingest sensor events.
+    pub fn ingest_sensors(&mut self, mut batch: Vec<SensorRecord>) {
+        self.sensors.append(&mut batch);
+        self.sensors.sort_by_key(|s| s.ts_ns());
+    }
+
+    /// All packet records, time-ordered.
+    pub fn packets(&self) -> &[PacketRecord] {
+        &self.packets
+    }
+
+    /// All flow records, ordered by start time.
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
+    }
+
+    /// All DNS metadata records, time-ordered.
+    pub fn dns(&self) -> &[DnsMetaRecord] {
+        &self.dns
+    }
+
+    /// All sensor events, time-ordered.
+    pub fn sensors(&self) -> &[SensorRecord] {
+        &self.sensors
+    }
+
+    /// Index-accelerated packet query.
+    pub fn query_packets(&self, q: &PacketQuery) -> Vec<&PacketRecord> {
+        let limit = q.limit.unwrap_or(usize::MAX);
+        // Plan: prefer the most selective available index.
+        let candidates: Option<&[u32]> = if let Some(h) = q.host.or(q.src).or(q.dst) {
+            Some(self.by_host.get(&h).map(|v| v.as_slice()).unwrap_or(&[]))
+        } else if let Some(p) = q.dst_port {
+            Some(self.by_port.get(&p).map(|v| v.as_slice()).unwrap_or(&[]))
+        } else if q.malicious_only {
+            Some(&self.by_attack)
+        } else {
+            None
+        };
+        match candidates {
+            Some(idx) => {
+                // Index vectors are position-sorted = time-sorted, so a
+                // time range can prune with binary search.
+                let slice = match &q.time_ns {
+                    Some(range) => {
+                        let lo = idx.partition_point(|&i| {
+                            self.packets[i as usize].ts_ns < range.start
+                        });
+                        let hi = idx.partition_point(|&i| {
+                            self.packets[i as usize].ts_ns < range.end
+                        });
+                        &idx[lo..hi]
+                    }
+                    None => idx,
+                };
+                slice
+                    .iter()
+                    .map(|&i| &self.packets[i as usize])
+                    .filter(|r| q.matches(r))
+                    .take(limit)
+                    .collect()
+            }
+            None => {
+                let slice = match &q.time_ns {
+                    Some(range) => {
+                        let lo = self.packets.partition_point(|r| r.ts_ns < range.start);
+                        let hi = self.packets.partition_point(|r| r.ts_ns < range.end);
+                        &self.packets[lo..hi]
+                    }
+                    None => &self.packets[..],
+                };
+                slice.iter().filter(|r| q.matches(r)).take(limit).collect()
+            }
+        }
+    }
+
+    /// Full-scan packet query — the baseline experiment E3 compares the
+    /// indexes against.
+    pub fn scan_packets(&self, q: &PacketQuery) -> Vec<&PacketRecord> {
+        let limit = q.limit.unwrap_or(usize::MAX);
+        self.packets.iter().filter(|r| q.matches(r)).take(limit).collect()
+    }
+
+    /// Flow query (scan with time pruning).
+    pub fn query_flows(&self, q: &FlowQuery) -> Vec<&FlowRecord> {
+        let limit = q.limit.unwrap_or(usize::MAX);
+        self.flows.iter().filter(|f| q.matches(f)).take(limit).collect()
+    }
+
+    /// Drop all records older than `cutoff_ns` (retention enforcement).
+    pub fn retain_since(&mut self, cutoff_ns: u64) {
+        let cut = self.packets.partition_point(|r| r.ts_ns < cutoff_ns);
+        if cut > 0 {
+            self.packets.drain(..cut);
+            self.rebuild_indexes();
+        }
+        self.flows.retain(|f| f.last_ts_ns >= cutoff_ns);
+        self.dns.retain(|d| d.ts_ns >= cutoff_ns);
+        self.sensors.retain(|s| s.ts_ns() >= cutoff_ns);
+    }
+
+    /// Approximate storage footprint.
+    pub fn storage(&self) -> StorageReport {
+        let packet_records = self.packets.len() as u64;
+        let flow_records = self.flows.len() as u64;
+        let dns_records = self.dns.len() as u64;
+        let sensor_records = self.sensors.len() as u64;
+        StorageReport {
+            packet_records,
+            flow_records,
+            dns_records,
+            sensor_records,
+            approx_bytes: packet_records * PACKET_RECORD_BYTES
+                + flow_records * FLOW_RECORD_BYTES
+                + dns_records * DNS_RECORD_BYTES
+                + sensor_records * SENSOR_RECORD_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::{Direction, TcpFlags};
+
+    fn rec(ts: u64, src: [u8; 4], dst: [u8; 4], dport: u16, attack: u16) -> PacketRecord {
+        PacketRecord {
+            ts_ns: ts,
+            direction: Direction::Inbound,
+            src: IpAddr::from(src),
+            dst: IpAddr::from(dst),
+            protocol: 17,
+            src_port: 53,
+            dst_port: dport,
+            wire_len: 100,
+            ttl: 64,
+            tcp_flags: TcpFlags::default(),
+            flow_id: 0,
+            label_app: 1,
+            label_attack: attack,
+        }
+    }
+
+    fn populated() -> DataStore {
+        let mut ds = DataStore::new();
+        let mut batch = Vec::new();
+        for i in 0..1000u64 {
+            batch.push(rec(
+                i * 1000,
+                [10, 1, 1, (i % 50) as u8],
+                [203, 0, 113, (i % 10) as u8],
+                (i % 5) as u16 + 440,
+                u16::from(i % 20 == 0),
+            ));
+        }
+        ds.ingest_packets(batch);
+        ds
+    }
+
+    #[test]
+    fn query_equals_scan_on_every_shape() {
+        let ds = populated();
+        let queries = vec![
+            PacketQuery::for_host("10.1.1.7".parse().unwrap()),
+            PacketQuery::in_window(100_000, 500_000),
+            PacketQuery::default().port(441),
+            PacketQuery::default().malicious(),
+            PacketQuery::for_host("10.1.1.7".parse().unwrap()).window(0, 400_000),
+            PacketQuery::default().port(442).malicious(),
+        ];
+        for q in queries {
+            let via_index: Vec<u64> = ds.query_packets(&q).iter().map(|r| r.ts_ns).collect();
+            let via_scan: Vec<u64> = ds.scan_packets(&q).iter().map(|r| r.ts_ns).collect();
+            assert_eq!(via_index, via_scan, "mismatch for {q:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_batches_are_merged() {
+        let mut ds = DataStore::new();
+        ds.ingest_packets(vec![rec(5_000, [1, 1, 1, 1], [2, 2, 2, 2], 80, 0)]);
+        ds.ingest_packets(vec![rec(1_000, [1, 1, 1, 1], [2, 2, 2, 2], 80, 0)]);
+        let ts: Vec<u64> = ds.packets().iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![1_000, 5_000]);
+        // Indexes still agree with a scan after the reorder.
+        let q = PacketQuery::for_host("1.1.1.1".parse().unwrap());
+        assert_eq!(ds.query_packets(&q).len(), ds.scan_packets(&q).len());
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let ds = populated();
+        let q = PacketQuery { limit: Some(7), ..Default::default() };
+        assert_eq!(ds.query_packets(&q).len(), 7);
+    }
+
+    #[test]
+    fn retention_drops_old_records_and_reindexes() {
+        let mut ds = populated();
+        let before = ds.storage();
+        ds.retain_since(500_000);
+        let after = ds.storage();
+        assert!(after.packet_records < before.packet_records);
+        assert_eq!(after.packet_records, 500);
+        // Queries remain consistent post-retention.
+        let q = PacketQuery::default().malicious();
+        let idx: Vec<u64> = ds.query_packets(&q).iter().map(|r| r.ts_ns).collect();
+        let scan: Vec<u64> = ds.scan_packets(&q).iter().map(|r| r.ts_ns).collect();
+        assert_eq!(idx, scan);
+        assert!(idx.iter().all(|&t| t >= 500_000));
+    }
+
+    #[test]
+    fn storage_report_accounts_all_tables() {
+        let mut ds = populated();
+        ds.ingest_sensors(vec![SensorRecord::ConfigChange {
+            ts_ns: 1,
+            device: "border".into(),
+            summary: "acl".into(),
+        }]);
+        let s = ds.storage();
+        assert_eq!(s.packet_records, 1000);
+        assert_eq!(s.sensor_records, 1);
+        assert!(s.approx_bytes > 96 * 1000);
+    }
+
+    #[test]
+    fn time_window_uses_sorted_order() {
+        let ds = populated();
+        let q = PacketQuery::in_window(10_000, 20_000);
+        let hits = ds.query_packets(&q);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-flow features — richer than per-packet, computable in the control
+//! plane from the flow table; the feature set for flow-granularity
+//! detectors (SSH brute force, exfiltration).
+
+use crate::label::LabelMode;
+use campuslab_capture::FlowRecord;
+use campuslab_ml::Dataset;
+
+/// Column names, in order.
+pub const FLOW_FEATURES: [&str; 14] = [
+    "duration_s",
+    "total_packets",
+    "total_bytes",
+    "fwd_packets",
+    "rev_packets",
+    "bytes_ratio_fwd",
+    "mean_pkt_len",
+    "min_len",
+    "max_len",
+    "mean_iat_ms",
+    "syn_count",
+    "fin_count",
+    "rst_count",
+    "dst_port",
+];
+
+/// Index of a flow feature by name.
+pub fn flow_feature_index(name: &str) -> usize {
+    FLOW_FEATURES
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown flow feature {name}"))
+}
+
+/// Extract the feature row for one flow.
+pub fn flow_features(f: &FlowRecord) -> Vec<f64> {
+    let total_packets = f.total_packets() as f64;
+    let total_bytes = f.total_bytes() as f64;
+    vec![
+        f.duration_ns() as f64 / 1e9,
+        total_packets,
+        total_bytes,
+        f.fwd_packets as f64,
+        f.rev_packets as f64,
+        if total_bytes > 0.0 { f.fwd_bytes as f64 / total_bytes } else { 0.5 },
+        if total_packets > 0.0 { total_bytes / total_packets } else { 0.0 },
+        f64::from(f.min_len),
+        f64::from(f.max_len),
+        f.mean_iat_ns as f64 / 1e6,
+        f64::from(f.syn_count),
+        f64::from(f.fin_count),
+        f64::from(f.rst_count),
+        f64::from(f.key.dst_port),
+    ]
+}
+
+/// Build a flow-level dataset.
+pub fn flow_dataset(flows: &[FlowRecord], mode: LabelMode) -> Dataset {
+    let x: Vec<Vec<f64>> = flows.iter().map(flow_features).collect();
+    let y: Vec<usize> = flows.iter().map(|f| mode.label_flow(f)).collect();
+    let mut d = Dataset::new(x, y, FLOW_FEATURES.iter().map(|s| s.to_string()).collect());
+    d.n_classes = d.n_classes.max(mode.min_classes());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::FlowKey;
+
+    fn flow(attack: u16) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey {
+                src: "10.1.1.10".parse().unwrap(),
+                dst: "203.0.113.9".parse().unwrap(),
+                protocol: 6,
+                src_port: 50_000,
+                dst_port: 22,
+            },
+            first_ts_ns: 1_000_000_000,
+            last_ts_ns: 3_000_000_000,
+            fwd_packets: 10,
+            fwd_bytes: 4_000,
+            rev_packets: 5,
+            rev_bytes: 1_000,
+            syn_count: 2,
+            fin_count: 2,
+            rst_count: 0,
+            mean_iat_ns: 2_000_000,
+            min_len: 60,
+            max_len: 1500,
+            label_app: 4,
+            label_attack: attack,
+        }
+    }
+
+    #[test]
+    fn feature_values() {
+        let row = flow_features(&flow(0));
+        assert_eq!(row.len(), FLOW_FEATURES.len());
+        assert_eq!(row[flow_feature_index("duration_s")], 2.0);
+        assert_eq!(row[flow_feature_index("total_packets")], 15.0);
+        assert_eq!(row[flow_feature_index("total_bytes")], 5_000.0);
+        assert!((row[flow_feature_index("bytes_ratio_fwd")] - 0.8).abs() < 1e-12);
+        assert!((row[flow_feature_index("mean_pkt_len")] - 5000.0 / 15.0).abs() < 1e-9);
+        assert_eq!(row[flow_feature_index("mean_iat_ms")], 2.0);
+        assert_eq!(row[flow_feature_index("dst_port")], 22.0);
+    }
+
+    #[test]
+    fn dataset_with_attack_kinds() {
+        let flows = vec![flow(0), flow(4), flow(4)];
+        let d = flow_dataset(&flows, LabelMode::AttackKind);
+        assert_eq!(d.y, vec![0, 4, 4]);
+        assert_eq!(d.n_classes, 6);
+    }
+
+    #[test]
+    fn degenerate_flow_is_finite() {
+        let mut f = flow(0);
+        f.fwd_packets = 1;
+        f.rev_packets = 0;
+        f.fwd_bytes = 0;
+        f.rev_bytes = 0;
+        let row = flow_features(&f);
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-packet features — the feature set a programmable data plane can
+//! evaluate at line rate, because every column is a header field or a
+//! trivial function of one. This is the schema the tree→match-action
+//! compiler understands.
+
+use crate::label::LabelMode;
+use campuslab_capture::{Direction, PacketRecord};
+use campuslab_ml::Dataset;
+
+/// Column names, in order. Every feature is integer-valued on purpose:
+/// tree thresholds over integers compile exactly to range matches.
+pub const PACKET_FEATURES: [&str; 13] = [
+    "protocol",
+    "src_port",
+    "dst_port",
+    "wire_len",
+    "ttl",
+    "direction_inbound",
+    "tcp_syn",
+    "tcp_ack",
+    "tcp_fin",
+    "tcp_rst",
+    "is_udp",
+    "is_tcp",
+    "src_port_is_dns",
+];
+
+/// Index of a packet feature by name; panics on unknown names (they are
+/// compile-time constants everywhere they are used).
+pub fn packet_feature_index(name: &str) -> usize {
+    PACKET_FEATURES
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown packet feature {name}"))
+}
+
+/// Extract the feature row for one captured packet.
+pub fn packet_features(rec: &PacketRecord) -> Vec<f64> {
+    vec![
+        f64::from(rec.protocol),
+        f64::from(rec.src_port),
+        f64::from(rec.dst_port),
+        f64::from(rec.wire_len),
+        f64::from(rec.ttl),
+        f64::from(u8::from(rec.direction == Direction::Inbound)),
+        f64::from(u8::from(rec.tcp_flags.syn)),
+        f64::from(u8::from(rec.tcp_flags.ack)),
+        f64::from(u8::from(rec.tcp_flags.fin)),
+        f64::from(u8::from(rec.tcp_flags.rst)),
+        f64::from(u8::from(rec.protocol == 17)),
+        f64::from(u8::from(rec.protocol == 6)),
+        f64::from(u8::from(rec.src_port == 53)),
+    ]
+}
+
+/// Build a per-packet dataset from captured records, labeled per `mode`.
+/// Records are assumed time-ordered (as the capture plane produces them),
+/// so `split_by_order` gives leakage-free train/test splits.
+pub fn packet_dataset(records: &[PacketRecord], mode: LabelMode) -> Dataset {
+    let x: Vec<Vec<f64>> = records.iter().map(packet_features).collect();
+    let y: Vec<usize> = records.iter().map(|r| mode.label_packet(r)).collect();
+    let mut d = Dataset::new(
+        x,
+        y,
+        PACKET_FEATURES.iter().map(|s| s.to_string()).collect(),
+    );
+    d.n_classes = d.n_classes.max(mode.min_classes());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::TcpFlags;
+    use std::net::IpAddr;
+
+    fn rec(protocol: u8, sport: u16, dport: u16, attack: u16) -> PacketRecord {
+        PacketRecord {
+            ts_ns: 0,
+            direction: Direction::Inbound,
+            src: IpAddr::from([203, 0, 113, 1]),
+            dst: IpAddr::from([10, 1, 1, 10]),
+            protocol,
+            src_port: sport,
+            dst_port: dport,
+            wire_len: 1200,
+            ttl: 60,
+            tcp_flags: TcpFlags { syn: protocol == 6, ..Default::default() },
+            flow_id: 0,
+            label_app: 1,
+            label_attack: attack,
+        }
+    }
+
+    #[test]
+    fn schema_and_row_agree() {
+        let row = packet_features(&rec(17, 53, 40_000, 1));
+        assert_eq!(row.len(), PACKET_FEATURES.len());
+        assert_eq!(row[packet_feature_index("protocol")], 17.0);
+        assert_eq!(row[packet_feature_index("src_port")], 53.0);
+        assert_eq!(row[packet_feature_index("dst_port")], 40_000.0);
+        assert_eq!(row[packet_feature_index("wire_len")], 1200.0);
+        assert_eq!(row[packet_feature_index("direction_inbound")], 1.0);
+        assert_eq!(row[packet_feature_index("is_udp")], 1.0);
+        assert_eq!(row[packet_feature_index("is_tcp")], 0.0);
+        assert_eq!(row[packet_feature_index("src_port_is_dns")], 1.0);
+    }
+
+    #[test]
+    fn tcp_flags_are_featurized() {
+        let row = packet_features(&rec(6, 50_000, 443, 0));
+        assert_eq!(row[packet_feature_index("tcp_syn")], 1.0);
+        assert_eq!(row[packet_feature_index("is_tcp")], 1.0);
+        assert_eq!(row[packet_feature_index("src_port_is_dns")], 0.0);
+    }
+
+    #[test]
+    fn dataset_binary_labels() {
+        let records = vec![rec(17, 53, 40_000, 1), rec(6, 50_000, 443, 0)];
+        let d = packet_dataset(&records, LabelMode::BinaryAttack);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.y, vec![1, 0]);
+        assert_eq!(d.n_classes, 2);
+        assert_eq!(d.feature_names.len(), PACKET_FEATURES.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown packet feature")]
+    fn unknown_feature_name_panics() {
+        packet_feature_index("nope");
+    }
+}

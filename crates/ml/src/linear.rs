@@ -1,0 +1,183 @@
+//! Multinomial logistic regression trained by mini-batch SGD — the simple
+//! parametric baseline.
+
+use crate::data::Dataset;
+use crate::model::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub l2: f64,
+    pub batch_size: usize,
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            epochs: 60,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: 64,
+            seed: 0x106_1,
+        }
+    }
+}
+
+/// Softmax regression. Expects standardized features (see
+/// [`Normalizer`](crate::data::Normalizer)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// `weights[c][f]`, plus a bias per class.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    n_classes: usize,
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl LogisticRegression {
+    /// Train on `data`.
+    pub fn fit(data: &Dataset, cfg: LogisticConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let c = data.n_classes.max(2);
+        let d = data.n_features();
+        let mut model = LogisticRegression {
+            weights: vec![vec![0.0; d]; c],
+            biases: vec![0.0; c],
+            n_classes: c,
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(cfg.batch_size) {
+                let mut grad_w = vec![vec![0.0; d]; c];
+                let mut grad_b = vec![0.0; c];
+                for &i in batch {
+                    let p = model.predict_proba(&data.x[i]);
+                    for k in 0..c {
+                        let err = p[k] - f64::from(u8::from(data.y[i] == k));
+                        for f in 0..d {
+                            grad_w[k][f] += err * data.x[i][f];
+                        }
+                        grad_b[k] += err;
+                    }
+                }
+                let scale = cfg.learning_rate / batch.len() as f64;
+                for k in 0..c {
+                    for f in 0..d {
+                        model.weights[k][f] -=
+                            scale * (grad_w[k][f] + cfg.l2 * model.weights[k][f]);
+                    }
+                    model.biases[k] -= scale * grad_b[k];
+                }
+            }
+        }
+        model
+    }
+
+    /// The learned weights (class-major), for inspection.
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let logits: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+            .collect();
+        softmax(&logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Normalizer;
+    use rand::Rng;
+
+    fn linearly_separable(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..400 {
+            let class = rng.gen_range(0..2usize);
+            let offset = if class == 0 { -2.0 } else { 2.0 };
+            x.push(vec![offset + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            y.push(class);
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn learns_a_linear_boundary() {
+        let d = linearly_separable(1);
+        let norm = Normalizer::fit(&d);
+        let dn = norm.transform(&d);
+        let (train, test) = dn.split_by_order(0.75);
+        let m = LogisticRegression::fit(&train, LogisticConfig::default());
+        let acc = test
+            .x
+            .iter()
+            .zip(&test.y)
+            .filter(|(r, &l)| m.predict(r) == l)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_softmax() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            for i in 0..60 {
+                x.push(vec![c as f64 * 4.0 + (i % 10) as f64 * 0.1]);
+                y.push(c);
+            }
+        }
+        let d = Dataset::new(x, y, vec!["v".into()]);
+        let norm = Normalizer::fit(&d);
+        let m = LogisticRegression::fit(&norm.transform(&d), LogisticConfig::default());
+        assert_eq!(m.n_classes(), 3);
+        let p = m.predict_proba(&norm.transform_row(&[0.0]));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(m.predict(&norm.transform_row(&[0.2])), 0);
+        assert_eq!(m.predict(&norm.transform_row(&[8.2])), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = linearly_separable(2);
+        let m1 = LogisticRegression::fit(&d, LogisticConfig::default());
+        let m2 = LogisticRegression::fit(&d, LogisticConfig::default());
+        assert_eq!(m1.weights(), m2.weights());
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[1] > p[0]);
+    }
+}

@@ -1,0 +1,486 @@
+//! Links: rate, propagation delay, a queue discipline per direction, and a
+//! fault-injection model (random loss, scheduled outages).
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Identifies a link in the network. Links are full-duplex; each direction
+/// has its own transmitter and queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Direction of travel on a link: `AtoB` goes from endpoint `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    AtoB,
+    BtoA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+
+    /// Index into two-element per-direction arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        }
+    }
+}
+
+/// Queue discipline configuration for one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueDiscipline {
+    /// Tail-drop once the queue holds `capacity_bytes`.
+    DropTail { capacity_bytes: usize },
+    /// Random Early Detection over an EWMA of queue occupancy.
+    Red {
+        capacity_bytes: usize,
+        min_thresh_bytes: usize,
+        max_thresh_bytes: usize,
+        /// Drop probability at `max_thresh` (0.0..=1.0).
+        max_p: f64,
+    },
+}
+
+impl QueueDiscipline {
+    /// A drop-tail queue sized for `ms` milliseconds of buffering at `rate`.
+    pub fn drop_tail_for(rate_bps: u64, ms: u64) -> Self {
+        let capacity_bytes = ((rate_bps as u128 * ms as u128) / 8000) as usize;
+        QueueDiscipline::DropTail { capacity_bytes: capacity_bytes.max(3000) }
+    }
+}
+
+/// EWMA weight for RED's average queue estimate.
+const RED_WEIGHT: f64 = 0.05;
+
+/// One direction's queue.
+#[derive(Debug)]
+struct DirQueue {
+    discipline: QueueDiscipline,
+    packets: std::collections::VecDeque<(Packet, SimTime)>,
+    bytes: usize,
+    avg_bytes: f64,
+    /// Transmitter busy until this instant.
+    busy_until: SimTime,
+}
+
+impl DirQueue {
+    fn new(discipline: QueueDiscipline) -> Self {
+        DirQueue {
+            discipline,
+            packets: std::collections::VecDeque::new(),
+            bytes: 0,
+            avg_bytes: 0.0,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Decide admission and enqueue; returns false when the packet drops.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut StdRng) -> bool {
+        let len = pkt.wire_len();
+        let admitted = match self.discipline {
+            QueueDiscipline::DropTail { capacity_bytes } => self.bytes + len <= capacity_bytes,
+            QueueDiscipline::Red {
+                capacity_bytes,
+                min_thresh_bytes,
+                max_thresh_bytes,
+                max_p,
+            } => {
+                self.avg_bytes =
+                    self.avg_bytes * (1.0 - RED_WEIGHT) + (self.bytes as f64) * RED_WEIGHT;
+                if self.bytes + len > capacity_bytes {
+                    false
+                } else if self.avg_bytes <= min_thresh_bytes as f64 {
+                    true
+                } else if self.avg_bytes >= max_thresh_bytes as f64 {
+                    false
+                } else {
+                    let frac = (self.avg_bytes - min_thresh_bytes as f64)
+                        / (max_thresh_bytes - min_thresh_bytes).max(1) as f64;
+                    rng.gen::<f64>() >= frac * max_p
+                }
+            }
+        };
+        if admitted {
+            self.bytes += len;
+            self.packets.push_back((pkt, now));
+        }
+        admitted
+    }
+
+    fn dequeue(&mut self) -> Option<(Packet, SimTime)> {
+        let (pkt, t) = self.packets.pop_front()?;
+        self.bytes -= pkt.wire_len();
+        Some((pkt, t))
+    }
+}
+
+/// Scheduled outage window during which a link drops everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Random fault behaviour of a link.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    /// Independent per-packet loss probability.
+    pub drop_probability: f64,
+    /// Scheduled hard outages.
+    pub outages: Vec<Outage>,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel { drop_probability: 0.0, outages: Vec::new() }
+    }
+}
+
+impl FaultModel {
+    /// True when the link is inside a scheduled outage at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|o| now >= o.from && now < o.until)
+    }
+}
+
+/// Per-direction transmit statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    pub tx_packets: u64,
+    pub tx_bytes: u64,
+    pub dropped_queue: u64,
+    pub dropped_fault: u64,
+    /// Cumulative time the transmitter spent sending, for utilization.
+    pub busy: SimDuration,
+    /// Cumulative queueing delay experienced by transmitted packets.
+    pub queue_delay: SimDuration,
+}
+
+impl DirStats {
+    /// Transmitter utilization over an observation window.
+    pub fn utilization(&self, window: SimDuration) -> f64 {
+        if window.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / window.as_secs_f64()
+    }
+
+    /// Mean queueing delay per transmitted packet.
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        if self.tx_packets == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.queue_delay.as_nanos() / self.tx_packets)
+    }
+}
+
+/// A full-duplex point-to-point link.
+#[derive(Debug)]
+pub struct Link {
+    pub id: LinkId,
+    pub a: crate::node::NodeId,
+    pub b: crate::node::NodeId,
+    pub rate_bps: u64,
+    pub propagation: SimDuration,
+    pub fault: FaultModel,
+    queues: [DirQueue; 2],
+    pub stats: [DirStats; 2],
+}
+
+/// What happened when a packet was offered to a link.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Transmission begins now; the packet pops out after `tx + propagation`.
+    StartedTransmit,
+    /// Transmitter busy; packet queued.
+    Queued,
+    /// Dropped by the queue discipline.
+    DroppedQueue,
+    /// Dropped by the fault model (random loss or outage).
+    DroppedFault,
+}
+
+impl Link {
+    /// Create a link with the same queue discipline in both directions.
+    pub fn new(
+        id: LinkId,
+        a: crate::node::NodeId,
+        b: crate::node::NodeId,
+        rate_bps: u64,
+        propagation: SimDuration,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        Link {
+            id,
+            a,
+            b,
+            rate_bps,
+            propagation,
+            fault: FaultModel::default(),
+            queues: [DirQueue::new(discipline), DirQueue::new(discipline)],
+            stats: [DirStats::default(), DirStats::default()],
+        }
+    }
+
+    /// The node a packet travelling in `dir` arrives at.
+    pub fn dst_node(&self, dir: Dir) -> crate::node::NodeId {
+        match dir {
+            Dir::AtoB => self.b,
+            Dir::BtoA => self.a,
+        }
+    }
+
+    /// The direction that carries traffic from `from` across this link.
+    pub fn dir_from(&self, from: crate::node::NodeId) -> Dir {
+        if from == self.a {
+            Dir::AtoB
+        } else {
+            debug_assert_eq!(from, self.b, "node not an endpoint of this link");
+            Dir::BtoA
+        }
+    }
+
+    /// Offer a packet for transmission in `dir` at `now`.
+    ///
+    /// Returns what happened; when `StartedTransmit` is returned the caller
+    /// must schedule `tx_done` at `now + serialization` and delivery at
+    /// `now + serialization + propagation`.
+    pub fn offer(&mut self, dir: Dir, pkt: Packet, now: SimTime, rng: &mut StdRng) -> Offer {
+        let s = &mut self.stats[dir.index()];
+        if self.fault.is_down(now)
+            || (self.fault.drop_probability > 0.0 && rng.gen::<f64>() < self.fault.drop_probability)
+        {
+            s.dropped_fault += 1;
+            return Offer::DroppedFault;
+        }
+        let q = &mut self.queues[dir.index()];
+        if q.busy_until <= now && q.packets.is_empty() {
+            // Idle transmitter: the packet goes straight to the wire.
+            q.packets.push_back((pkt, now));
+            q.bytes += q.packets.back().map(|(p, _)| p.wire_len()).unwrap_or(0);
+            Offer::StartedTransmit
+        } else if q.enqueue(pkt, now, rng) {
+            Offer::Queued
+        } else {
+            s.dropped_queue += 1;
+            Offer::DroppedQueue
+        }
+    }
+
+    /// Begin transmitting the head-of-line packet at `now`, returning the
+    /// packet, its serialization time, and total one-way latency. The caller
+    /// schedules the corresponding `tx_done` and delivery events.
+    pub fn start_transmit(
+        &mut self,
+        dir: Dir,
+        now: SimTime,
+    ) -> Option<(Packet, SimDuration, SimDuration)> {
+        let q = &mut self.queues[dir.index()];
+        let (pkt, enqueued_at) = q.dequeue()?;
+        let tx = SimDuration::transmission(pkt.wire_len(), self.rate_bps);
+        q.busy_until = now + tx;
+        let s = &mut self.stats[dir.index()];
+        s.tx_packets += 1;
+        s.tx_bytes += pkt.wire_len() as u64;
+        s.busy += tx;
+        s.queue_delay += now - enqueued_at;
+        Some((pkt, tx, tx + self.propagation))
+    }
+
+    /// True when packets are waiting in `dir`.
+    pub fn has_backlog(&self, dir: Dir) -> bool {
+        !self.queues[dir.index()].packets.is_empty()
+    }
+
+    /// Bytes currently queued in `dir`.
+    pub fn queued_bytes(&self, dir: Dir) -> usize {
+        self.queues[dir.index()].bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::packet::{GroundTruth, PacketBuilder, Payload};
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn pkt(bytes: usize) -> Packet {
+        let mut b = PacketBuilder::new();
+        b.udp_v4(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Payload::Synthetic(bytes),
+            64,
+            GroundTruth::default(),
+        )
+    }
+
+    fn link(rate: u64, cap: usize) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            rate,
+            SimDuration::from_micros(10),
+            QueueDiscipline::DropTail { capacity_bytes: cap },
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_transmit_immediately() {
+        let mut l = link(1_000_000_000, 100_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng),
+            Offer::StartedTransmit
+        );
+        let (p, tx, total) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        // 958 + 42 header bytes = 1000 bytes at 1 Gbps = 8 us.
+        assert_eq!(p.wire_len(), 1000);
+        assert_eq!(tx, SimDuration::from_micros(8));
+        assert_eq!(total, SimDuration::from_micros(18));
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops_when_full() {
+        let mut l = link(1_000_000, 2000);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng),
+            Offer::StartedTransmit
+        );
+        l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        // Transmitter busy for 8ms: the next offers queue until capacity.
+        assert_eq!(l.offer(Dir::AtoB, pkt(958), SimTime(1), &mut rng), Offer::Queued);
+        assert_eq!(l.offer(Dir::AtoB, pkt(958), SimTime(2), &mut rng), Offer::Queued);
+        assert_eq!(
+            l.offer(Dir::AtoB, pkt(958), SimTime(3), &mut rng),
+            Offer::DroppedQueue
+        );
+        assert_eq!(l.stats[0].dropped_queue, 1);
+        assert!(l.has_backlog(Dir::AtoB));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = link(1_000_000, 2000);
+        let mut rng = StdRng::seed_from_u64(1);
+        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        // Reverse direction is still idle.
+        assert_eq!(
+            l.offer(Dir::BtoA, pkt(100), SimTime(1), &mut rng),
+            Offer::StartedTransmit
+        );
+    }
+
+    #[test]
+    fn fault_drops_and_outages() {
+        let mut l = link(1_000_000_000, 100_000);
+        l.fault.drop_probability = 1.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            l.offer(Dir::AtoB, pkt(10), SimTime::ZERO, &mut rng),
+            Offer::DroppedFault
+        );
+        l.fault.drop_probability = 0.0;
+        l.fault.outages.push(Outage {
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+        });
+        assert!(l.fault.is_down(SimTime::from_secs(15)));
+        assert_eq!(
+            l.offer(Dir::AtoB, pkt(10), SimTime::from_secs(15), &mut rng),
+            Offer::DroppedFault
+        );
+        assert!(!l.fault.is_down(SimTime::from_secs(20)));
+        assert_eq!(l.stats[0].dropped_fault, 2);
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            SimDuration::ZERO,
+            QueueDiscipline::Red {
+                capacity_bytes: 1_000_000,
+                min_thresh_bytes: 2_000,
+                max_thresh_bytes: 20_000,
+                max_p: 1.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        // Saturate the transmitter, then flood the queue.
+        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        let mut dropped = 0;
+        let mut queued = 0;
+        for i in 0..200 {
+            match l.offer(Dir::AtoB, pkt(958), SimTime(i), &mut rng) {
+                Offer::Queued => queued += 1,
+                Offer::DroppedQueue => dropped += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // RED must drop some but not all packets once the average climbs.
+        assert!(dropped > 0, "RED never dropped");
+        assert!(queued > 0, "RED dropped everything");
+    }
+
+    #[test]
+    fn utilization_and_queue_delay_accounting() {
+        let mut l = link(8_000_000, 1_000_000); // 1 byte per microsecond
+        let mut rng = StdRng::seed_from_u64(1);
+        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        // Second packet waits 1000 us for the first to serialize.
+        let busy_until = SimTime::from_micros(1000);
+        let (_, _, _) = l.start_transmit(Dir::AtoB, busy_until).unwrap();
+        let s = &l.stats[0];
+        assert_eq!(s.tx_packets, 2);
+        assert_eq!(s.tx_bytes, 2000);
+        assert_eq!(s.queue_delay, SimDuration::from_micros(1000));
+        assert_eq!(s.mean_queue_delay(), SimDuration::from_micros(500));
+        assert!((s.utilization(SimDuration::from_micros(2000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_tail_sizing_helper() {
+        // 10 ms at 1 Gbps = 1.25 MB.
+        match QueueDiscipline::drop_tail_for(1_000_000_000, 10) {
+            QueueDiscipline::DropTail { capacity_bytes } => {
+                assert_eq!(capacity_bytes, 1_250_000)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dir_helpers() {
+        let l = link(1, 1);
+        assert_eq!(l.dir_from(NodeId(0)), Dir::AtoB);
+        assert_eq!(l.dir_from(NodeId(1)), Dir::BtoA);
+        assert_eq!(l.dst_node(Dir::AtoB), NodeId(1));
+        assert_eq!(l.dst_node(Dir::BtoA), NodeId(0));
+        assert_eq!(Dir::AtoB.flip(), Dir::BtoA);
+    }
+}

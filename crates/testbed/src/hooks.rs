@@ -1,0 +1,95 @@
+//! Hook composition: run several observers (monitor + controller + custom
+//! probes) against one simulation.
+
+use campuslab_netsim::{Commands, Dir, DropReason, LinkId, NodeId, Packet, SimDuration, SimHooks, SimTime};
+
+/// Two hook sets driven by the same simulation, in order.
+pub struct Duo<A: SimHooks, B: SimHooks> {
+    pub first: A,
+    pub second: B,
+}
+
+impl<A: SimHooks, B: SimHooks> Duo<A, B> {
+    /// Compose two hook sets.
+    pub fn new(first: A, second: B) -> Self {
+        Duo { first, second }
+    }
+}
+
+impl<A: SimHooks, B: SimHooks> SimHooks for Duo<A, B> {
+    fn on_tap(&mut self, now: SimTime, link: LinkId, dir: Dir, packet: &Packet, cmds: &mut Commands) {
+        self.first.on_tap(now, link, dir, packet, cmds);
+        self.second.on_tap(now, link, dir, packet, cmds);
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: &Packet,
+        latency: SimDuration,
+        cmds: &mut Commands,
+    ) {
+        self.first.on_deliver(now, node, packet, latency, cmds);
+        self.second.on_deliver(now, node, packet, latency, cmds);
+    }
+
+    fn on_drop(&mut self, now: SimTime, reason: DropReason, packet: &Packet, cmds: &mut Commands) {
+        self.first.on_drop(now, reason, packet, cmds);
+        self.second.on_drop(now, reason, packet, cmds);
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
+        self.first.on_timer(now, token, cmds);
+        self.second.on_timer(now, token, cmds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        taps: u64,
+        timers: u64,
+    }
+
+    impl SimHooks for Counter {
+        fn on_tap(&mut self, _: SimTime, _: LinkId, _: Dir, _: &Packet, _: &mut Commands) {
+            self.taps += 1;
+        }
+        fn on_timer(&mut self, _: SimTime, _: u64, _: &mut Commands) {
+            self.timers += 1;
+        }
+    }
+
+    #[test]
+    fn both_hooks_see_every_event() {
+        use campuslab_netsim::prelude::*;
+        let campus = Campus::build(CampusConfig {
+            dist_count: 1,
+            access_per_dist: 1,
+            hosts_per_access: 2,
+            external_hosts: 2,
+            ..CampusConfig::default()
+        });
+        let src = campus.hosts[0];
+        let src_ip = campus.addr_of(src);
+        let ext_ip = campus.addr_of(campus.external[0]);
+        let mut net = campus.net;
+        let mut b = PacketBuilder::new();
+        net.inject(
+            SimTime::ZERO,
+            src,
+            b.udp_v4(src_ip, ext_ip, 1, 2, Payload::Synthetic(10), 64, GroundTruth::default()),
+        );
+        net.set_timer(SimTime::from_millis(1), 7);
+        let mut duo = Duo::new(Counter::default(), Counter::default());
+        net.run(&mut duo, None);
+        assert_eq!(duo.first.taps, 1);
+        assert_eq!(duo.second.taps, 1);
+        assert_eq!(duo.first.timers, 1);
+        assert_eq!(duo.second.timers, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # campuslab-testbed
+//!
+//! The campus as testbed (the paper's Part-2 proposal): scenario
+//! definitions, data collection into the store, road tests with
+//! placement-dependent mitigation, the cross-campus reproducibility
+//! protocol, operator trust reports, and the deployment gate that stands
+//! in for the researcher↔IT "support contract".
+//!
+//! * [`scenario`] — describe + run a campus day (workload, attacks,
+//!   monitoring), collect records, land them in a [`campuslab_datastore::DataStore`].
+//! * [`roadtest`] — deploy a developed model against a fresh attack and
+//!   measure time-to-mitigation, suppression, and collateral damage.
+//! * [`crosscampus`] — train the shared algorithm privately at N campuses,
+//!   evaluate every model everywhere (experiment E7).
+//! * [`trust`] — evidence audits: does the model cite the features an
+//!   analyst expects? (experiment E9)
+//! * [`hooks`] — hook composition for running monitor + controller
+//!   together.
+
+//!
+//! ```no_run
+//! use campuslab_testbed::{collect, Scenario};
+//!
+//! // One call runs the campus and captures everything at the border.
+//! let data = collect(&Scenario::small());
+//! assert!(data.packets.len() > 0);
+//! ```
+
+pub mod hooks;
+pub mod scenario;
+pub mod roadtest;
+pub mod crosscampus;
+pub mod trust;
+
+pub use crosscampus::{cross_campus, CampusSite, CrossCampusResult};
+pub use hooks::Duo;
+pub use roadtest::{
+    deployment_decision, road_test, DeploymentDecision, GateCriteria, RoadTestConfig,
+    RoadTestOutcome,
+};
+pub use scenario::{build_schedule, build_store, collect, AttackScenario, CollectedData, Scenario};
+pub use trust::{expected_features, trust_report, AuditedDecision, TrustReport};

@@ -1,0 +1,341 @@
+//! Road-testing (the paper's Part-2 proposal): deploy a developed model on
+//! the live campus testbed under a fresh attack and measure what the
+//! operator cares about — time to mitigation, attack suppression, and
+//! collateral damage to benign traffic.
+
+use crate::scenario::{build_schedule, Scenario};
+use campuslab_control::{
+    BankFilter, FastLoopStatsSnapshot, MitigationController, MitigationControllerConfig,
+    MitigationEvent, Placement,
+};
+use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_ml::Classifier;
+use campuslab_netsim::{Campus, NetStats, NullHooks, SimDuration, SimTime};
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// Road-test parameters.
+pub struct RoadTestConfig {
+    pub placement: Placement,
+    /// Detector confidence gate (the paper's >= 0.9).
+    pub gate: f64,
+    pub window_ns: u64,
+    pub min_packets: usize,
+    /// Optional border-link outage, as (start, end) fractions of the
+    /// workload duration — failure injection for resilience road tests.
+    pub border_outage: Option<(f64, f64)>,
+}
+
+impl Default for RoadTestConfig {
+    fn default() -> Self {
+        RoadTestConfig {
+            placement: Placement::Controller,
+            gate: 0.9,
+            window_ns: 1_000_000_000,
+            min_packets: 5,
+            border_outage: None,
+        }
+    }
+}
+
+/// What a road test measured.
+#[derive(Debug, Clone)]
+pub struct RoadTestOutcome {
+    pub placement: Placement,
+    pub filter: FastLoopStatsSnapshot,
+    pub net: NetStats,
+    pub mitigations: Vec<MitigationEvent>,
+    pub victim: Option<Ipv4Addr>,
+    pub attack_start: Option<SimTime>,
+    /// Attack start → rule active. None when nothing was installed.
+    pub time_to_mitigation: Option<SimDuration>,
+    /// Attack packets that reached the victim before/despite mitigation.
+    pub attack_packets_passed: u64,
+    /// Benign packets dropped by the mitigation (collateral).
+    pub benign_packets_dropped: u64,
+}
+
+impl RoadTestOutcome {
+    /// Attack suppression: dropped / (dropped + passed).
+    pub fn suppression(&self) -> f64 {
+        self.filter.attack_recall()
+    }
+}
+
+/// Run a road test: the scenario plays out on a fresh campus while the
+/// deployed model (placement-dependent) defends it.
+pub fn road_test(
+    scenario: &Scenario,
+    program: PipelineProgram,
+    window_model: Option<Box<dyn Classifier + Send>>,
+    cfg: RoadTestConfig,
+) -> RoadTestOutcome {
+    let campus = Campus::build(scenario.campus.clone());
+    let (mut schedule, victim, attack_start) = build_schedule(&campus, scenario);
+    let mut net = campus.net;
+    schedule.apply_to(&mut net);
+    if let Some((from_frac, until_frac)) = cfg.border_outage {
+        let span = scenario.workload.duration.as_secs_f64();
+        net.link_mut(campus.border_link).fault.outages.push(campuslab_netsim::Outage {
+            from: SimTime::ZERO + SimDuration::from_secs_f64(span * from_frac),
+            until: SimTime::ZERO + SimDuration::from_secs_f64(span * until_frac),
+        });
+    }
+
+    let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
+    let (bank, handle) = BankFilter::new(extractor);
+    net.install_filter(campus.border, bank);
+
+    let mut mitigations = Vec::new();
+    match cfg.placement {
+        Placement::Switch => {
+            // Compiled rules are in the switch before the attack exists.
+            handle.add_program(None, program);
+            net.run(&mut NullHooks, None);
+        }
+        placement => {
+            let model = window_model.expect("controller/cloud placement needs a window model");
+            let controller_cfg = MitigationControllerConfig {
+                tap: campus.border_link,
+                placement,
+                gate: cfg.gate,
+                window_ns: cfg.window_ns,
+                min_packets: cfg.min_packets,
+                program,
+            };
+            let mut controller = MitigationController::new(controller_cfg, model, handle.clone());
+            net.run(&mut controller, None);
+            mitigations = controller.events;
+        }
+    }
+
+    let filter = handle.stats();
+    let time_to_mitigation = match cfg.placement {
+        Placement::Switch => Some(SimDuration::ZERO),
+        _ => match (attack_start, mitigations.first()) {
+            (Some(start), Some(event)) => Some(event.installed_at - start),
+            _ => None,
+        },
+    };
+    RoadTestOutcome {
+        placement: cfg.placement,
+        filter,
+        net: net.stats,
+        mitigations,
+        victim,
+        attack_start,
+        time_to_mitigation,
+        attack_packets_passed: filter.passed_attack,
+        benign_packets_dropped: filter.dropped_benign,
+    }
+}
+
+/// Go/no-go criteria for promoting a model from road test to production —
+/// the "support contract" checklist between researcher and IT (paper §4).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GateCriteria {
+    pub min_suppression: f64,
+    /// Benign drops per benign packet crossing the filter.
+    pub max_collateral_rate: f64,
+    pub require_mitigation_within: Option<SimDuration>,
+}
+
+impl Default for GateCriteria {
+    fn default() -> Self {
+        GateCriteria {
+            min_suppression: 0.8,
+            max_collateral_rate: 0.01,
+            require_mitigation_within: Some(SimDuration::from_secs(5)),
+        }
+    }
+}
+
+/// The gate's verdict with its reasoning.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeploymentDecision {
+    pub approved: bool,
+    pub reasons: Vec<String>,
+}
+
+/// Evaluate the deployment gate over a road-test outcome.
+pub fn deployment_decision(outcome: &RoadTestOutcome, criteria: GateCriteria) -> DeploymentDecision {
+    let mut reasons = Vec::new();
+    let suppression = outcome.suppression();
+    if suppression < criteria.min_suppression {
+        reasons.push(format!(
+            "attack suppression {:.1}% below required {:.1}%",
+            suppression * 100.0,
+            criteria.min_suppression * 100.0
+        ));
+    }
+    let benign_seen = outcome.filter.packets - outcome.filter.dropped_attack
+        - outcome.filter.passed_attack;
+    let collateral_rate = if benign_seen > 0 {
+        outcome.filter.dropped_benign as f64 / benign_seen as f64
+    } else {
+        0.0
+    };
+    if collateral_rate > criteria.max_collateral_rate {
+        reasons.push(format!(
+            "collateral drop rate {:.3}% above allowed {:.3}%",
+            collateral_rate * 100.0,
+            criteria.max_collateral_rate * 100.0
+        ));
+    }
+    if let Some(deadline) = criteria.require_mitigation_within {
+        match outcome.time_to_mitigation {
+            Some(t) if t <= deadline => {}
+            Some(t) => reasons.push(format!(
+                "mitigation took {t} (deadline {deadline})"
+            )),
+            None => reasons.push("attack was never mitigated".to_string()),
+        }
+    }
+    DeploymentDecision { approved: reasons.is_empty(), reasons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::collect;
+    use campuslab_control::{run_development_loop, DevLoopConfig};
+    use campuslab_features::{window_dataset, LabelMode, WindowConfig};
+    use campuslab_ml::{DecisionTree, TreeConfig};
+
+    /// Train models on one collection pass, then road-test on a fresh run.
+    fn trained() -> (PipelineProgram, DecisionTree) {
+        let data = collect(&Scenario::small());
+        let dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+        let wd = window_dataset(
+            &data.packets,
+            WindowConfig { window_ns: 1_000_000_000, min_packets: 5 },
+            LabelMode::BinaryAttack,
+        );
+        let window_model = DecisionTree::fit(&wd, TreeConfig::shallow(4));
+        (dev.program, window_model)
+    }
+
+    #[test]
+    fn switch_placement_suppresses_from_the_start() {
+        let (program, _) = trained();
+        let outcome = road_test(
+            &Scenario::small(),
+            program,
+            None,
+            RoadTestConfig { placement: Placement::Switch, ..Default::default() },
+        );
+        assert!(outcome.suppression() > 0.8, "suppression {}", outcome.suppression());
+        assert_eq!(outcome.time_to_mitigation, Some(SimDuration::ZERO));
+        // Collateral damage stays tiny.
+        let decision = deployment_decision(&outcome, GateCriteria::default());
+        assert!(decision.approved, "rejected: {:?}", decision.reasons);
+    }
+
+    #[test]
+    fn controller_placement_detects_then_mitigates() {
+        let (program, window_model) = trained();
+        let outcome = road_test(
+            &Scenario::small(),
+            program,
+            Some(Box::new(window_model)),
+            RoadTestConfig { placement: Placement::Controller, ..Default::default() },
+        );
+        assert!(!outcome.mitigations.is_empty(), "controller never fired");
+        let ttm = outcome.time_to_mitigation.expect("mitigated");
+        assert!(ttm > SimDuration::ZERO);
+        assert!(
+            outcome.mitigations[0].victim == std::net::IpAddr::V4(outcome.victim.unwrap()),
+            "mitigated the wrong host"
+        );
+        // Some attack passed before the window closed, then drops began.
+        assert!(outcome.filter.dropped_attack > 0);
+    }
+
+    #[test]
+    fn cloud_placement_is_slower_than_controller() {
+        let (program, window_model) = trained();
+        let (p2, w2) = (program.clone(), window_model.clone());
+        let controller = road_test(
+            &Scenario::small(),
+            program,
+            Some(Box::new(window_model)),
+            RoadTestConfig { placement: Placement::Controller, ..Default::default() },
+        );
+        let cloud = road_test(
+            &Scenario::small(),
+            p2,
+            Some(Box::new(w2)),
+            RoadTestConfig { placement: Placement::Cloud, ..Default::default() },
+        );
+        let t_controller = controller.time_to_mitigation.expect("controller mitigated");
+        let t_cloud = cloud.time_to_mitigation.expect("cloud mitigated");
+        assert!(t_cloud > t_controller, "cloud {t_cloud} vs controller {t_controller}");
+        // And the slower tier lets more attack through.
+        assert!(cloud.attack_packets_passed >= controller.attack_packets_passed);
+    }
+
+    #[test]
+    fn border_outage_is_survivable() {
+        // Failure injection: the border link goes dark for 20% of the run.
+        // The system must keep functioning (no panic, sane accounting) and
+        // the switch-resident mitigation must still suppress what arrives.
+        let (program, _) = trained();
+        let outcome = road_test(
+            &Scenario::small(),
+            program,
+            None,
+            RoadTestConfig {
+                placement: Placement::Switch,
+                border_outage: Some((0.3, 0.5)),
+                ..Default::default()
+            },
+        );
+        assert!(outcome.net.dropped_fault > 0, "outage dropped nothing");
+        // Everything that did arrive was still filtered correctly.
+        assert!(outcome.suppression() > 0.9, "suppression {}", outcome.suppression());
+        assert_eq!(
+            outcome.net.injected,
+            outcome.net.delivered + outcome.net.dropped_total()
+        );
+    }
+
+    #[test]
+    fn rate_limit_mitigation_is_gentler_than_drop() {
+        let (program, _) = trained();
+        let policed = program.with_drops_as_policers(500_000); // 0.5 Mbps
+        let hard = road_test(
+            &Scenario::small(),
+            program,
+            None,
+            RoadTestConfig { placement: Placement::Switch, ..Default::default() },
+        );
+        let soft = road_test(
+            &Scenario::small(),
+            policed,
+            None,
+            RoadTestConfig { placement: Placement::Switch, ..Default::default() },
+        );
+        // The policer lets a trickle through (by design) but still removes
+        // the bulk of the flood.
+        assert!(soft.attack_packets_passed > hard.attack_packets_passed);
+        assert!(
+            soft.suppression() > 0.5,
+            "policer suppressed too little: {}",
+            soft.suppression()
+        );
+    }
+
+    #[test]
+    fn gate_rejects_a_useless_program() {
+        // An empty program drops nothing: suppression 0.
+        let outcome = road_test(
+            &Scenario::small(),
+            PipelineProgram::new("empty", vec![]),
+            None,
+            RoadTestConfig { placement: Placement::Switch, ..Default::default() },
+        );
+        let decision = deployment_decision(&outcome, GateCriteria::default());
+        assert!(!decision.approved);
+        assert!(decision.reasons.iter().any(|r| r.contains("suppression")));
+    }
+}

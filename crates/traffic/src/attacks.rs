@@ -1,0 +1,515 @@
+//! Attack-campaign generators, each stamping [`AttackKind`] ground truth.
+//!
+//! The flagship is DNS amplification — the paper's §2 example of a network
+//! event an automated pipeline should detect and mitigate ("drop attack
+//! traffic on ingress if confidence in detection is at least 90%").
+
+use crate::apps::{tcp_exchange, Endpoint, SessionEnv, TcpExchange};
+use crate::labels::{AppClass, AttackKind};
+use campuslab_netsim::{GroundTruth, Payload, SimDuration, SimTime};
+use campuslab_wire::{DnsMessage, DnsRcode, DnsRecord, DnsRecordData, DnsType, TcpControl, TcpRepr};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Parameters of a DNS reflection/amplification campaign.
+#[derive(Debug, Clone)]
+pub struct DnsAmplification {
+    /// The bot sending spoofed queries (external).
+    pub attacker: Endpoint,
+    /// The campus host whose address is spoofed — and flooded.
+    pub victim: Endpoint,
+    /// Open resolvers abused as reflectors (external).
+    pub reflectors: Vec<Endpoint>,
+    /// Spoofed queries per second.
+    pub qps: f64,
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+/// Generate a DNS amplification campaign.
+///
+/// Spoofed `ANY` queries (src forged to the victim) go from the attacker to
+/// each reflector; every reflector answers the *victim* with a multi-record
+/// response an order of magnitude larger than the query — the inbound flood
+/// crosses the campus border where the monitoring tap and any deployed
+/// mitigation live.
+pub fn dns_amplification(env: &mut SessionEnv<'_>, a: &DnsAmplification) {
+    assert!(!a.reflectors.is_empty(), "amplification needs reflectors");
+    let n = (a.qps * a.duration.as_secs_f64()).round() as usize;
+    let gap = SimDuration::from_secs_f64(1.0 / a.qps.max(1e-9));
+    // Reflected answers are large multi-record responses (~1.5-4 KB).
+    let zone = "amp.example.org";
+    for i in 0..n {
+        let flow_id = env.alloc_flow();
+        let truth = GroundTruth {
+            flow_id,
+            app_class: AppClass::Dns.id(),
+            attack: Some(AttackKind::DnsAmplification.id()),
+        };
+        let t = a.start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+        let reflector = a.reflectors[i % a.reflectors.len()];
+        let id: u16 = env.rng.gen();
+        // Evasive attackers spoof typical resolver client ports.
+        let sport: u16 = env.rng.gen_range(32768..61000);
+
+        let query = DnsMessage::query(id, zone, DnsType::Any);
+        let mut qbytes = Vec::new();
+        query.emit(&mut qbytes).expect("valid zone name");
+        // Source address forged to the victim; the packet physically leaves
+        // the attacker's uplink.
+        let qpkt = env.builder.udp_v4(
+            a.victim.addr,
+            reflector.addr,
+            sport,
+            53,
+            Payload::Bytes(qbytes),
+            64,
+            truth,
+        );
+        env.schedule.push(t, a.attacker.node, qpkt);
+
+        // Response sizes vary per query (records and lengths differ), so
+        // the flood overlaps the size range of legitimate fat answers
+        // (DNSSEC, big TXT) rather than presenting one magic constant.
+        let n_records = env.rng.gen_range(14..24);
+        let answers: Vec<DnsRecord> = (0..n_records)
+            .map(|k| DnsRecord {
+                name: zone.to_string(),
+                ttl: 3600,
+                data: DnsRecordData::Txt(vec![
+                    b'A' + (k % 26) as u8;
+                    env.rng.gen_range(90..180)
+                ]),
+            })
+            .collect();
+        let response = query.answer(answers, DnsRcode::NoError);
+        let mut rbytes = Vec::new();
+        response.emit(&mut rbytes).expect("valid zone name");
+        // Arriving TTLs reflect diverse reflector OSes (64/128/255 initial)
+        // minus 6-20 Internet hops, just like real border traffic.
+        let ttl = initial_ttl(env) - env.rng.gen_range(6..20);
+        let rpkt = env.builder.udp_v4(
+            reflector.addr,
+            a.victim.addr,
+            53,
+            sport,
+            Payload::Bytes(rbytes),
+            ttl,
+            truth,
+        );
+        env.schedule
+            .push(t + SimDuration::from_millis(4), reflector.node, rpkt);
+    }
+}
+
+/// A realistic initial TTL: common OS defaults.
+fn initial_ttl(env: &mut SessionEnv<'_>) -> u8 {
+    [64u8, 128, 255][env.rng.gen_range(0..3)]
+}
+
+/// Parameters of a SYN flood.
+#[derive(Debug, Clone)]
+pub struct SynFlood {
+    pub attacker: Endpoint,
+    /// The campus server under attack.
+    pub victim: Endpoint,
+    pub dport: u16,
+    /// SYNs per second.
+    pub pps: f64,
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+/// Generate a SYN flood with randomly spoofed sources.
+pub fn syn_flood(env: &mut SessionEnv<'_>, a: &SynFlood) {
+    let n = (a.pps * a.duration.as_secs_f64()).round() as usize;
+    let gap = SimDuration::from_secs_f64(1.0 / a.pps.max(1e-9));
+    for i in 0..n {
+        let flow_id = env.alloc_flow();
+        let truth = GroundTruth {
+            flow_id,
+            app_class: 0,
+            attack: Some(AttackKind::SynFlood.id()),
+        };
+        let t = a.start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+        // Random routable-looking spoofed source.
+        let spoofed = Ipv4Addr::new(
+            env.rng.gen_range(11..200),
+            env.rng.gen(),
+            env.rng.gen(),
+            env.rng.gen_range(1..255),
+        );
+        let tcp = TcpRepr {
+            src_port: env.rng.gen_range(1024..65535),
+            dst_port: a.dport,
+            seq: env.rng.gen(),
+            ack: 0,
+            control: TcpControl::SYN,
+            window: 65535,
+            mss: Some(1460),
+            window_scale: None,
+        };
+        let pkt = env.builder.tcp_v4(
+            spoofed,
+            a.victim.addr,
+            tcp.src_port,
+            tcp.dst_port,
+            tcp,
+            Payload::Synthetic(0),
+            truth,
+        );
+        env.schedule.push(t, a.attacker.node, pkt);
+    }
+}
+
+/// Parameters of a TCP port scan.
+#[derive(Debug, Clone)]
+pub struct PortScan {
+    pub attacker: Endpoint,
+    /// Campus hosts probed.
+    pub targets: Vec<Endpoint>,
+    /// Destination ports swept per target.
+    pub ports: Vec<u16>,
+    /// Probes per second.
+    pub pps: f64,
+    pub start: SimTime,
+}
+
+/// Generate a scan: one SYN per (target, port); most targets answer RST.
+pub fn port_scan(env: &mut SessionEnv<'_>, a: &PortScan) {
+    let gap = SimDuration::from_secs_f64(1.0 / a.pps.max(1e-9));
+    let mut i = 0u64;
+    for target in &a.targets {
+        for &port in &a.ports {
+            let flow_id = env.alloc_flow();
+            let truth = GroundTruth {
+                flow_id,
+                app_class: 0,
+                attack: Some(AttackKind::PortScan.id()),
+            };
+            let t = a.start + SimDuration::from_nanos(gap.as_nanos() * i);
+            i += 1;
+            let sport: u16 = env.rng.gen_range(1024..65535);
+            let syn = TcpRepr {
+                src_port: sport,
+                dst_port: port,
+                seq: env.rng.gen(),
+                ack: 0,
+                control: TcpControl::SYN,
+                window: 1024,
+                mss: None,
+                window_scale: None,
+            };
+            let probe = env.builder.tcp_v4(
+                a.attacker.addr,
+                target.addr,
+                sport,
+                port,
+                syn,
+                Payload::Synthetic(0),
+                truth,
+            );
+            env.schedule.push(t, a.attacker.node, probe);
+            // Closed ports (the common case) answer with RST.
+            if env.rng.gen::<f64>() < 0.9 {
+                let rst = TcpRepr {
+                    src_port: port,
+                    dst_port: sport,
+                    seq: 0,
+                    ack: syn.seq.wrapping_add(1),
+                    control: TcpControl::RST,
+                    window: 0,
+                    mss: None,
+                    window_scale: None,
+                };
+                let reply = env.builder.tcp_v4(
+                    target.addr,
+                    a.attacker.addr,
+                    port,
+                    sport,
+                    rst,
+                    Payload::Synthetic(0),
+                    truth,
+                );
+                env.schedule
+                    .push(t + SimDuration::from_millis(12), target.node, reply);
+            }
+        }
+    }
+}
+
+/// Parameters of an SSH brute-force campaign.
+#[derive(Debug, Clone)]
+pub struct SshBruteForce {
+    pub attacker: Endpoint,
+    pub victim: Endpoint,
+    /// Login attempts.
+    pub attempts: usize,
+    /// Attempts per second.
+    pub rate: f64,
+    pub start: SimTime,
+}
+
+/// Generate repeated short failed-login SSH exchanges.
+pub fn ssh_brute_force(env: &mut SessionEnv<'_>, a: &SshBruteForce) {
+    let gap = SimDuration::from_secs_f64(1.0 / a.rate.max(1e-9));
+    for i in 0..a.attempts {
+        let t = a.start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+        let sport = env.rng.gen_range(1024..65535);
+        tcp_exchange(
+            env,
+            t,
+            a.attacker,
+            a.victim,
+            AppClass::Ssh,
+            Some(AttackKind::SshBruteForce.id()),
+            TcpExchange {
+                sport,
+                dport: 22,
+                // Banner + failed auth: small, stereotyped sizes.
+                request_bytes: 1200,
+                response_bytes: 800,
+                pace_bps: 50_000_000,
+                rtt: SimDuration::from_millis(30),
+            },
+        );
+    }
+}
+
+/// Parameters of a slow data-exfiltration upload.
+#[derive(Debug, Clone)]
+pub struct Exfiltration {
+    /// The compromised campus host.
+    pub compromised: Endpoint,
+    /// The external collection point.
+    pub sink: Endpoint,
+    pub bytes: usize,
+    /// Upload pacing, bits per second (slow to stay under the radar).
+    pub pace_bps: u64,
+    pub start: SimTime,
+}
+
+/// Generate the exfiltration upload as one long TLS-looking transfer.
+pub fn exfiltration(env: &mut SessionEnv<'_>, a: &Exfiltration) {
+    let sport = env.rng.gen_range(1024..65535);
+    tcp_exchange(
+        env,
+        a.start,
+        a.compromised,
+        a.sink,
+        AppClass::Backup, // masquerades as backup traffic
+        Some(AttackKind::Exfiltration.id()),
+        TcpExchange {
+            sport,
+            dport: 443,
+            request_bytes: a.bytes,
+            response_bytes: 1200,
+            pace_bps: a.pace_bps,
+            rtt: SimDuration::from_millis(25),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use campuslab_netsim::{NodeId, PacketBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ep(node: usize, addr: [u8; 4]) -> Endpoint {
+        Endpoint { node: NodeId(node), addr: Ipv4Addr::from(addr) }
+    }
+
+    struct Ctx {
+        builder: PacketBuilder,
+        rng: StdRng,
+        schedule: Schedule,
+        next_flow: u64,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Ctx {
+                builder: PacketBuilder::new(),
+                rng: StdRng::seed_from_u64(5),
+                schedule: Schedule::new(),
+                next_flow: 0,
+            }
+        }
+        fn env(&mut self) -> SessionEnv<'_> {
+            SessionEnv {
+                builder: &mut self.builder,
+                rng: &mut self.rng,
+                schedule: &mut self.schedule,
+                next_flow: &mut self.next_flow,
+            }
+        }
+    }
+
+    #[test]
+    fn amplification_amplifies() {
+        let mut ctx = Ctx::new();
+        let campaign = DnsAmplification {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 1, 10]),
+            reflectors: vec![ep(2, [203, 0, 113, 1]), ep(3, [203, 0, 113, 2])],
+            qps: 100.0,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+        };
+        dns_amplification(&mut ctx.env(), &campaign);
+        let s = &ctx.schedule;
+        assert_eq!(s.len(), 200); // 100 queries + 100 responses
+        let victim_ip = std::net::IpAddr::V4(Ipv4Addr::new(10, 1, 1, 10));
+        let to_victim: u64 = s
+            .iter()
+            .filter(|i| i.packet.network.dst() == victim_ip)
+            .map(|i| i.packet.wire_len() as u64)
+            .sum();
+        let from_victim_addr: u64 = s
+            .iter()
+            .filter(|i| i.packet.network.src() == victim_ip)
+            .map(|i| i.packet.wire_len() as u64)
+            .sum();
+        // The response flood dwarfs the spoofed query stream: ~10x or more.
+        assert!(
+            to_victim > 8 * from_victim_addr,
+            "amplification factor too low: {to_victim} vs {from_victim_addr}"
+        );
+        assert!(s
+            .iter()
+            .all(|i| i.packet.truth.attack == Some(AttackKind::DnsAmplification.id())));
+    }
+
+    #[test]
+    fn amplification_responses_parse_as_dns() {
+        let mut ctx = Ctx::new();
+        let campaign = DnsAmplification {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 1, 10]),
+            reflectors: vec![ep(2, [203, 0, 113, 1])],
+            qps: 10.0,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+        };
+        dns_amplification(&mut ctx.env(), &campaign);
+        for inj in ctx.schedule.iter() {
+            let msg = DnsMessage::parse(inj.packet.payload.bytes().unwrap()).unwrap();
+            if msg.flags.response {
+                assert!((14..24).contains(&msg.answers.len()), "{}", msg.answers.len());
+            } else {
+                assert!(msg.is_amplification_prone());
+            }
+        }
+    }
+
+    #[test]
+    fn syn_flood_spoofs_sources() {
+        let mut ctx = Ctx::new();
+        let campaign = SynFlood {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 255, 80]),
+            dport: 443,
+            pps: 500.0,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(2),
+        };
+        syn_flood(&mut ctx.env(), &campaign);
+        let s = &ctx.schedule;
+        assert_eq!(s.len(), 1000);
+        let sources: std::collections::HashSet<std::net::IpAddr> =
+            s.iter().map(|i| i.packet.network.src()).collect();
+        assert!(sources.len() > 900, "sources not spoofed: {}", sources.len());
+        for inj in s.iter() {
+            match &inj.packet.transport {
+                campuslab_netsim::TransportHeader::Tcp(t) => {
+                    assert!(t.control.syn && !t.control.ack)
+                }
+                _ => panic!("syn flood emitted non-tcp"),
+            }
+        }
+    }
+
+    #[test]
+    fn port_scan_sweeps_targets_and_ports() {
+        let mut ctx = Ctx::new();
+        let campaign = PortScan {
+            attacker: ep(0, [203, 0, 113, 66]),
+            targets: vec![ep(1, [10, 1, 1, 10]), ep(2, [10, 1, 1, 11])],
+            ports: (1..=50).collect(),
+            pps: 1000.0,
+            start: SimTime::ZERO,
+        };
+        port_scan(&mut ctx.env(), &campaign);
+        let probes = ctx
+            .schedule
+            .iter()
+            .filter(|i| i.packet.network.src() == "203.0.113.66".parse::<std::net::IpAddr>().unwrap())
+            .count();
+        assert_eq!(probes, 100);
+        // Most probes draw an RST back.
+        let rsts = ctx
+            .schedule
+            .iter()
+            .filter(|i| matches!(&i.packet.transport, campuslab_netsim::TransportHeader::Tcp(t) if t.control.rst))
+            .count();
+        assert!(rsts > 70 && rsts <= 100, "rsts {rsts}");
+    }
+
+    #[test]
+    fn brute_force_hits_port_22_repeatedly() {
+        let mut ctx = Ctx::new();
+        let campaign = SshBruteForce {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 1, 10]),
+            attempts: 20,
+            rate: 2.0,
+            start: SimTime::ZERO,
+        };
+        ssh_brute_force(&mut ctx.env(), &campaign);
+        let syns = ctx
+            .schedule
+            .iter()
+            .filter(|i| {
+                i.packet.transport.dst_port() == Some(22)
+                    && matches!(&i.packet.transport, campuslab_netsim::TransportHeader::Tcp(t) if t.control.syn && !t.control.ack)
+            })
+            .count();
+        assert_eq!(syns, 20);
+        assert!(ctx
+            .schedule
+            .iter()
+            .all(|i| i.packet.truth.attack == Some(AttackKind::SshBruteForce.id())));
+    }
+
+    #[test]
+    fn exfiltration_is_outbound_heavy() {
+        let mut ctx = Ctx::new();
+        let campaign = Exfiltration {
+            compromised: ep(0, [10, 1, 3, 14]),
+            sink: ep(1, [203, 0, 113, 99]),
+            bytes: 5_000_000,
+            pace_bps: 2_000_000,
+            start: SimTime::ZERO,
+        };
+        exfiltration(&mut ctx.env(), &campaign);
+        let out: u64 = ctx
+            .schedule
+            .iter()
+            .filter(|i| i.packet.network.src() == "10.1.3.14".parse::<std::net::IpAddr>().unwrap())
+            .map(|i| i.packet.wire_len() as u64)
+            .sum();
+        let inbound: u64 = ctx
+            .schedule
+            .iter()
+            .filter(|i| i.packet.network.dst() == "10.1.3.14".parse::<std::net::IpAddr>().unwrap())
+            .map(|i| i.packet.wire_len() as u64)
+            .sum();
+        assert!(out > 5_000_000);
+        assert!(out > 20 * inbound);
+        // Slow pacing stretches the transfer over many seconds.
+        assert!(ctx.schedule.span().as_secs_f64() > 10.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Seeded samplers for the heavy-tailed quantities that make campus traffic
+//! look like campus traffic: log-normal flow sizes, Pareto "elephant" tails,
+//! exponential inter-arrivals, Zipf popularity, and a diurnal load curve.
+//!
+//! Implemented from first principles on top of a uniform RNG so the crate
+//! needs nothing beyond `rand` and stays bit-reproducible across platforms.
+
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Log-normal distribution parameterized by the underlying normal's mean
+/// and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the *median* and the sigma of log-space. The median of
+    /// a log-normal is `exp(mu)`, which is the intuitive knob ("typical web
+    /// object is ~8 KB").
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0 && sigma >= 0.0);
+        LogNormal { mu: median.ln(), sigma }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+/// Shapes near 1.2 give the classic "mice and elephants" flow-size mix.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    pub x_min: f64,
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct; panics on non-positive parameters.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+
+    /// Draw one sample via inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Construct; panics on a non-positive rate.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Exponential { rate }
+    }
+
+    /// Draw one inter-arrival gap.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`: rank 0 is the
+/// most popular. Used for host activity and server popularity.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct over `n` ranks; panics when `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: constructed with n > 0.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Diurnal load modulation: a smooth day/night cycle with a midday peak.
+///
+/// Returns a multiplier in `[floor, 1.0]` given the fraction of the day
+/// elapsed (0.0 = midnight, 0.5 = noon).
+pub fn diurnal_multiplier(day_fraction: f64, floor: f64) -> f64 {
+    let x = day_fraction.rem_euclid(1.0);
+    // Cosine dip at midnight, peak at noon.
+    let wave = 0.5 - 0.5 * (2.0 * PI * x).cos();
+    floor + (1.0 - floor) * wave
+}
+
+/// Draw from the standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD15_7_0)
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let d = LogNormal::from_median(8192.0, 1.0);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 8192.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_is_heavy_tailed() {
+        let d = Pareto::new(1000.0, 1.2);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 1000.0));
+        // Heavy tail: the max dwarfs the median.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(max > 50.0 * median, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let d = Exponential::new(4.0);
+        let mut r = rng();
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut r)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let d = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+        // Rank 0 should take roughly 1/H(100) ~ 19% of the mass.
+        let share = counts[0] as f64 / 50_000.0;
+        assert!((share - 0.19).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let d = Zipf::new(1, 1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_at_noon_and_bottoms_at_midnight() {
+        let floor = 0.2;
+        assert!((diurnal_multiplier(0.0, floor) - floor).abs() < 1e-9);
+        assert!((diurnal_multiplier(0.5, floor) - 1.0).abs() < 1e-9);
+        let morning = diurnal_multiplier(0.25, floor);
+        assert!(morning > floor && morning < 1.0);
+        // Periodicity.
+        assert!((diurnal_multiplier(1.25, floor) - morning).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let d = LogNormal::from_median(100.0, 0.5);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r1), d.sample(&mut r2));
+        }
+    }
+}

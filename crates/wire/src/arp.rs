@@ -1,0 +1,161 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+
+use crate::ethernet::EthernetAddress;
+use crate::{be16, Error, Result};
+use std::net::Ipv4Addr;
+
+const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOperation {
+    Request,
+    Reply,
+}
+
+impl ArpOperation {
+    fn from_u16(v: u16) -> Result<Self> {
+        match v {
+            1 => Ok(ArpOperation::Request),
+            2 => Ok(ArpOperation::Reply),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    fn as_u16(self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+        }
+    }
+}
+
+/// An ARP packet for the only hardware/protocol pair campus networks use:
+/// Ethernet + IPv4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    pub operation: ArpOperation,
+    pub source_hardware: EthernetAddress,
+    pub source_protocol: Ipv4Addr,
+    pub target_hardware: EthernetAddress,
+    pub target_protocol: Ipv4Addr,
+}
+
+impl ArpRepr {
+    /// Build a broadcast who-has request.
+    pub fn request(
+        source_hardware: EthernetAddress,
+        source_protocol: Ipv4Addr,
+        target_protocol: Ipv4Addr,
+    ) -> Self {
+        ArpRepr {
+            operation: ArpOperation::Request,
+            source_hardware,
+            source_protocol,
+            target_hardware: EthernetAddress::default(),
+            target_protocol,
+        }
+    }
+
+    /// Parse an ARP packet. Only Ethernet/IPv4 ARP is accepted.
+    pub fn parse(data: &[u8]) -> Result<ArpRepr> {
+        if data.len() < ARP_PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        if be16(data, 0) != 1 || be16(data, 2) != 0x0800 {
+            return Err(Error::Unsupported);
+        }
+        if data[4] != 6 || data[5] != 4 {
+            return Err(Error::BadLength);
+        }
+        let operation = ArpOperation::from_u16(be16(data, 6))?;
+        let mut sha = [0u8; 6];
+        sha.copy_from_slice(&data[8..14]);
+        let spa = Ipv4Addr::new(data[14], data[15], data[16], data[17]);
+        let mut tha = [0u8; 6];
+        tha.copy_from_slice(&data[18..24]);
+        let tpa = Ipv4Addr::new(data[24], data[25], data[26], data[27]);
+        Ok(ArpRepr {
+            operation,
+            source_hardware: EthernetAddress(sha),
+            source_protocol: spa,
+            target_hardware: EthernetAddress(tha),
+            target_protocol: tpa,
+        })
+    }
+
+    /// Append the packet to `buf`.
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&1u16.to_be_bytes()); // htype: ethernet
+        buf.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: ipv4
+        buf.push(6); // hlen
+        buf.push(4); // plen
+        buf.extend_from_slice(&self.operation.as_u16().to_be_bytes());
+        buf.extend_from_slice(&self.source_hardware.0);
+        buf.extend_from_slice(&self.source_protocol.octets());
+        buf.extend_from_slice(&self.target_hardware.0);
+        buf.extend_from_slice(&self.target_protocol.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let repr = ArpRepr {
+            operation: ArpOperation::Reply,
+            source_hardware: EthernetAddress::from_host_id(3),
+            source_protocol: Ipv4Addr::new(10, 0, 0, 3),
+            target_hardware: EthernetAddress::from_host_id(9),
+            target_protocol: Ipv4Addr::new(10, 0, 0, 9),
+        };
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        assert_eq!(buf.len(), 28);
+        assert_eq!(ArpRepr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn request_helper_zeroes_target_hardware() {
+        let req = ArpRepr::request(
+            EthernetAddress::from_host_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        assert_eq!(req.operation, ArpOperation::Request);
+        assert_eq!(req.target_hardware, EthernetAddress::default());
+    }
+
+    #[test]
+    fn non_ethernet_arp_is_rejected() {
+        let repr = ArpRepr::request(
+            EthernetAddress::from_host_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf[1] = 6; // bogus hardware type
+        assert_eq!(ArpRepr::parse(&buf).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert_eq!(ArpRepr::parse(&[0u8; 27]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let repr = ArpRepr::request(
+            EthernetAddress::from_host_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf[7] = 99;
+        assert_eq!(ArpRepr::parse(&buf).unwrap_err(), Error::Unsupported);
+    }
+}

@@ -1,0 +1,133 @@
+//! The Internet checksum (RFC 1071) and the pseudo-header variants used by
+//! UDP, TCP and ICMP.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Incremental ones-complement sum accumulator.
+///
+/// The accumulator can be fed data in arbitrary chunks as long as each chunk
+/// other than the last has even length; `finish` folds the carries and
+/// complements the result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed a chunk of bytes. An odd trailing byte is padded with zero, so
+    /// only the final chunk may have odd length.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Feed a single big-endian u16.
+    pub fn add_u16(&mut self, value: u16) {
+        self.sum += u32::from(value);
+    }
+
+    /// Feed a u32 as two big-endian u16 words.
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16(value as u16);
+    }
+
+    /// Fold carries and return the ones-complement checksum.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Compute the RFC 1071 checksum of a buffer in one shot.
+pub fn of(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify a buffer whose checksum field is already in place: a correct
+/// buffer sums (including the stored checksum) to zero.
+pub fn verify(data: &[u8]) -> bool {
+    of(data) == 0
+}
+
+/// Start a checksum with the IPv4 pseudo-header used by UDP/TCP.
+pub fn pseudo_v4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u16(u16::from(protocol));
+    c.add_u16(length);
+    c
+}
+
+/// Start a checksum with the IPv6 pseudo-header used by UDP/TCP.
+pub fn pseudo_v6(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, length: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u32(length);
+    c.add_u16(u16::from(next_header));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let mut c = Checksum::new();
+        c.add_bytes(&data);
+        // Sum is 0x2ddf0 -> folded 0xddf2 -> complement 0x220d.
+        assert_eq!(c.finish(), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(of(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00, 0x40, 0x11];
+        data.extend_from_slice(&[0, 0]); // checksum placeholder
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let cks = of(&data);
+        data[10] = (cks >> 8) as u8;
+        data[11] = cks as u8;
+        assert!(verify(&data));
+        data[3] ^= 0xff;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn chunked_equals_oneshot() {
+        let data: Vec<u8> = (0..128u8).collect();
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..64]);
+        c.add_bytes(&data[64..]);
+        assert_eq!(c.finish(), of(&data));
+    }
+
+    #[test]
+    fn all_zero_checksums_to_ffff() {
+        assert_eq!(of(&[0u8; 32]), 0xffff);
+    }
+}

@@ -1,0 +1,231 @@
+//! IPv4 headers (RFC 791), without options.
+
+use crate::checksum;
+use crate::{be16, Error, Result};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers CampusLab understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProtocol {
+    Icmp,
+    Tcp,
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(v: IpProtocol) -> u8 {
+        match v {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(other) => other,
+        }
+    }
+}
+
+impl std::fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpProtocol::Icmp => f.write_str("icmp"),
+            IpProtocol::Tcp => f.write_str("tcp"),
+            IpProtocol::Udp => f.write_str("udp"),
+            IpProtocol::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// A parsed/parseable IPv4 header.
+///
+/// Fragmentation fields beyond the DF bit are not modelled: the campus
+/// simulator never emits fragments (a parse of a fragment fails with
+/// [`Error::Unsupported`] so the capture plane can count them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: IpProtocol,
+    pub ttl: u8,
+    /// Length of the payload that follows the header, in bytes.
+    pub payload_len: usize,
+    pub dscp: u8,
+    pub identification: u16,
+    pub dont_fragment: bool,
+}
+
+impl Ipv4Repr {
+    /// Parse a header, verifying version, lengths and the header checksum.
+    /// Returns the header and the payload slice (trimmed to `total_length`).
+    pub fn parse(data: &[u8]) -> Result<(Ipv4Repr, &[u8])> {
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(Error::BadVersion);
+        }
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        if ihl < IPV4_HEADER_LEN || data.len() < ihl {
+            return Err(Error::BadLength);
+        }
+        let total_len = usize::from(be16(data, 2));
+        if total_len < ihl || total_len > data.len() {
+            return Err(Error::BadLength);
+        }
+        if !checksum::verify(&data[..ihl]) {
+            return Err(Error::BadChecksum);
+        }
+        let flags_frag = be16(data, 6);
+        let more_fragments = flags_frag & 0x2000 != 0;
+        let frag_offset = flags_frag & 0x1fff;
+        if more_fragments || frag_offset != 0 {
+            return Err(Error::Unsupported);
+        }
+        let repr = Ipv4Repr {
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            protocol: IpProtocol::from(data[9]),
+            ttl: data[8],
+            payload_len: total_len - ihl,
+            dscp: data[1] >> 2,
+            identification: be16(data, 4),
+            dont_fragment: flags_frag & 0x4000 != 0,
+        };
+        Ok((repr, &data[ihl..total_len]))
+    }
+
+    /// Append the header (with a correct checksum) to `buf`. The caller
+    /// appends exactly `payload_len` bytes of payload afterwards.
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        let total_len = (IPV4_HEADER_LEN + self.payload_len) as u16;
+        buf.push(0x45); // version 4, ihl 5
+        buf.push(self.dscp << 2);
+        buf.extend_from_slice(&total_len.to_be_bytes());
+        buf.extend_from_slice(&self.identification.to_be_bytes());
+        let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.push(self.ttl);
+        buf.push(u8::from(self.protocol));
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+        let cks = checksum::of(&buf[start..start + IPV4_HEADER_LEN]);
+        buf[start + 10] = (cks >> 8) as u8;
+        buf[start + 11] = cks as u8;
+    }
+
+    /// Total on-wire length of header plus payload.
+    pub fn total_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(10, 5, 1, 7),
+            dst: Ipv4Addr::new(198, 51, 100, 4),
+            protocol: IpProtocol::Tcp,
+            ttl: 63,
+            payload_len: 40,
+            dscp: 10,
+            identification: 0xbeef,
+            dont_fragment: true,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(&vec![0xaa; repr.payload_len]);
+        let (parsed, payload) = Ipv4Repr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload.len(), 40);
+        assert!(payload.iter().all(|&b| b == 0xaa));
+    }
+
+    #[test]
+    fn trailing_garbage_is_trimmed() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(&vec![0xaa; repr.payload_len]);
+        buf.extend_from_slice(b"ethernet padding");
+        let (_, payload) = Ipv4Repr::parse(&buf).unwrap();
+        assert_eq!(payload.len(), repr.payload_len);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(&vec![0u8; repr.payload_len]);
+        buf[8] ^= 0x01; // flip a ttl bit
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap_err(), Error::BadChecksum);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf.extend_from_slice(&vec![0u8; 40]);
+        buf[0] = 0x65;
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn fragment_is_unsupported() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(&vec![0u8; repr.payload_len]);
+        // Set more-fragments and refresh the checksum.
+        buf[6] = 0x20;
+        buf[10] = 0;
+        buf[11] = 0;
+        let cks = checksum::of(&buf[..IPV4_HEADER_LEN]);
+        buf[10] = (cks >> 8) as u8;
+        buf[11] = cks as u8;
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn bad_total_length_is_rejected() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        // total_length says 60 but we only supply the header.
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn protocol_mapping() {
+        for p in [IpProtocol::Icmp, IpProtocol::Tcp, IpProtocol::Udp, IpProtocol::Other(89)] {
+            assert_eq!(IpProtocol::from(u8::from(p)), p);
+        }
+        assert_eq!(IpProtocol::Udp.to_string(), "udp");
+        assert_eq!(IpProtocol::Other(89).to_string(), "proto-89");
+    }
+}

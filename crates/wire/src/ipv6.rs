@@ -1,0 +1,142 @@
+//! IPv6 headers (RFC 8200), without extension headers.
+
+use crate::ipv4::IpProtocol;
+use crate::{be16, Error, Result};
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A parsed/parseable IPv6 fixed header.
+///
+/// Extension headers are not modelled; a packet whose next-header field is
+/// an extension header parses with `protocol = IpProtocol::Other(..)` and an
+/// opaque payload, which is what a border monitor would record anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Repr {
+    pub src: Ipv6Addr,
+    pub dst: Ipv6Addr,
+    pub protocol: IpProtocol,
+    pub hop_limit: u8,
+    /// Length of the payload that follows the fixed header, in bytes.
+    pub payload_len: usize,
+    pub traffic_class: u8,
+    pub flow_label: u32,
+}
+
+impl Ipv6Repr {
+    /// Parse a fixed header; returns the header and the payload slice
+    /// trimmed to the declared payload length.
+    pub fn parse(data: &[u8]) -> Result<(Ipv6Repr, &[u8])> {
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let version = data[0] >> 4;
+        if version != 6 {
+            return Err(Error::BadVersion);
+        }
+        let payload_len = usize::from(be16(data, 4));
+        if IPV6_HEADER_LEN + payload_len > data.len() {
+            return Err(Error::BadLength);
+        }
+        let traffic_class = (data[0] << 4) | (data[1] >> 4);
+        let flow_label =
+            (u32::from(data[1] & 0x0f) << 16) | (u32::from(data[2]) << 8) | u32::from(data[3]);
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        dst.copy_from_slice(&data[24..40]);
+        let repr = Ipv6Repr {
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+            protocol: IpProtocol::from(data[6]),
+            hop_limit: data[7],
+            payload_len,
+            traffic_class,
+            flow_label,
+        };
+        Ok((repr, &data[IPV6_HEADER_LEN..IPV6_HEADER_LEN + payload_len]))
+    }
+
+    /// Append the fixed header to `buf`. The caller appends exactly
+    /// `payload_len` bytes of payload afterwards.
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        buf.push(0x60 | (self.traffic_class >> 4));
+        buf.push(((self.traffic_class & 0x0f) << 4) | ((self.flow_label >> 16) as u8 & 0x0f));
+        buf.push((self.flow_label >> 8) as u8);
+        buf.push(self.flow_label as u8);
+        buf.extend_from_slice(&(self.payload_len as u16).to_be_bytes());
+        buf.push(u8::from(self.protocol));
+        buf.push(self.hop_limit);
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+    }
+
+    /// Total on-wire length of header plus payload.
+    pub fn total_len(&self) -> usize {
+        IPV6_HEADER_LEN + self.payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Repr {
+        Ipv6Repr {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8:0:1::42".parse().unwrap(),
+            protocol: IpProtocol::Udp,
+            hop_limit: 64,
+            payload_len: 16,
+            traffic_class: 0xb8,
+            flow_label: 0xabcde,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let repr = sample();
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(&[0x11; 16]);
+        let (parsed, payload) = Ipv6Repr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload.len(), 16);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf.extend_from_slice(&[0; 16]);
+        buf[0] = 0x45;
+        assert_eq!(Ipv6Repr::parse(&buf).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn short_payload_is_rejected() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf.extend_from_slice(&[0; 8]); // declared 16, supplied 8
+        assert_eq!(Ipv6Repr::parse(&buf).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        assert_eq!(Ipv6Repr::parse(&[0u8; 39]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn flow_label_boundaries_round_trip() {
+        for fl in [0u32, 1, 0xfffff] {
+            let mut repr = sample();
+            repr.flow_label = fl;
+            repr.payload_len = 0;
+            let mut buf = Vec::new();
+            repr.emit(&mut buf);
+            let (parsed, _) = Ipv6Repr::parse(&buf).unwrap();
+            assert_eq!(parsed.flow_label, fl);
+        }
+    }
+}

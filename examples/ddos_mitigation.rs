@@ -1,0 +1,74 @@
+//! The paper's §2 running example, end to end, across all three inference
+//! placements: "the network event in question could be a DDoS attack in
+//! the form of a DNS amplification attack on the enterprise and the
+//! corresponding action could be 'drop attack traffic on ingress if
+//! confidence in detection is at least 90%'."
+//!
+//! The same deployable model defends the same campus from the same attack,
+//! with the detector placed (a) in the switch itself (compiled rules),
+//! (b) at an on-campus controller, and (c) in an off-campus cloud service
+//! — showing the latency/suppression trade the paper's §2 discusses.
+//!
+//! ```sh
+//! cargo run --release --example ddos_mitigation
+//! ```
+
+use campuslab::control::Placement;
+use campuslab::testbed::Scenario;
+use campuslab::Platform;
+
+fn main() {
+    println!("== DNS amplification detection and mitigation ==\n");
+    let mut scenario = Scenario::small();
+    // A harder attack: more reflectors, higher rate.
+    scenario.attack = campuslab::testbed::AttackScenario::DnsAmplification {
+        victim_index: 3,
+        qps: 1_200.0,
+        start_frac: 0.25,
+        duration_frac: 0.6,
+    };
+    let platform = Platform::new(scenario);
+
+    println!("collecting training data from the campus border...");
+    let data = platform.collect();
+    let (malicious, benign) = data
+        .packets
+        .iter()
+        .fold((0u64, 0u64), |(m, b), p| if p.is_malicious() { (m + 1, b) } else { (m, b + 1) });
+    println!("  captured {malicious} attack + {benign} benign border packets\n");
+
+    println!("developing the deployable model (forest -> tree -> P4-style rules)...");
+    let dev = platform.develop(&data);
+    println!(
+        "  student F1 {:.3}, fidelity {:.1}%, {} TCAM entries\n",
+        dev.student_eval.f1_attack,
+        dev.fidelity * 100.0,
+        dev.program.n_entries()
+    );
+
+    println!("{:<12} {:>16} {:>14} {:>16} {:>14}", "placement", "time-to-mitigate", "suppression", "attack passed", "benign dropped");
+    for placement in [Placement::Switch, Placement::Controller, Placement::Cloud] {
+        let outcome = match placement {
+            Placement::Switch => platform.road_test_switch(&dev),
+            p => {
+                let wm = platform.train_window_model(&data);
+                platform.road_test_at(&dev, wm, p)
+            }
+        };
+        let ttm = outcome
+            .time_to_mitigation
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "never".to_string());
+        println!(
+            "{:<12} {:>16} {:>13.1}% {:>16} {:>14}",
+            format!("{placement:?}"),
+            ttm,
+            outcome.suppression() * 100.0,
+            outcome.attack_packets_passed,
+            outcome.benign_packets_dropped
+        );
+    }
+    println!("\nthe shape to notice: the switch reacts instantly; the controller pays one");
+    println!("detection window; the cloud adds WAN latency — and every extra second of");
+    println!("blindness is thousands of amplification packets reaching the victim.");
+}

@@ -1,0 +1,87 @@
+//! Opening the black box for operators (paper §5, step (iv)): a deployed
+//! model "that could be routinely queried for the list of pieces of
+//! evidence that the model used to arrive at its decisions".
+//!
+//! Trains the pipeline, then audits its decisions: for detected attack
+//! packets, print the exact evidence chain and check it cites the
+//! features a security analyst associates with DNS amplification.
+//!
+//! ```sh
+//! cargo run --release --example operator_trust
+//! ```
+
+use campuslab::features::packet_features;
+use campuslab::testbed::{trust_report, Scenario};
+use campuslab::xai::{counterfactual, explain};
+use campuslab::Platform;
+
+fn main() {
+    println!("== Operator trust report ==\n");
+    let platform = Platform::new(Scenario::small());
+    let data = platform.collect();
+    let dev = platform.develop(&data);
+
+    println!(
+        "deployable model: depth-{} tree, {} leaves, fidelity {:.1}% to the black box\n",
+        dev.distillation.student_depth,
+        dev.distillation.student_leaves,
+        dev.fidelity * 100.0
+    );
+
+    // Show three concrete decisions: an attack packet, a benign DNS answer,
+    // and a benign web packet.
+    let attack = data.packets.iter().find(|p| p.is_malicious()).expect("attack traffic");
+    // Benign DNS stays inside the campus (host <-> campus resolver), so
+    // the border tap never sees it; NTP is the benign UDP that does cross.
+    let benign_udp = data
+        .packets
+        .iter()
+        .find(|p| !p.is_malicious() && p.protocol == 17)
+        .expect("benign udp");
+    let benign_web = data
+        .packets
+        .iter()
+        .find(|p| !p.is_malicious() && p.dst_port == 443)
+        .or_else(|| data.packets.iter().find(|p| !p.is_malicious() && p.src_port == 443))
+        .expect("benign web");
+
+    for (title, rec) in [
+        ("amplification response (ground truth: attack)", attack),
+        ("NTP exchange (ground truth: benign)", benign_udp),
+        ("web traffic (ground truth: benign)", benign_web),
+    ] {
+        let row = packet_features(rec);
+        let ex = explain(&dev.student, &dev.feature_names, &row);
+        let verdict = if ex.predicted_class == 1 { "attack" } else { "benign" };
+        println!("--- {title}");
+        print!("{}", ex.to_text(verdict));
+        println!();
+    }
+
+    // The complementary what-if query: what minimal change flips a verdict?
+    println!("--- counterfactual queries");
+    let attack_row = packet_features(attack);
+    if let Some(cf) = counterfactual(&dev.student, &dev.feature_names, &attack_row, 0) {
+        print!("{}", cf.to_text("benign"));
+    }
+    let benign_row = packet_features(benign_udp);
+    if let Some(cf) = counterfactual(&dev.student, &dev.feature_names, &benign_row, 1) {
+        print!("{}", cf.to_text("attack"));
+    }
+    println!();
+
+    // Aggregate audit: does the evidence match the known cause?
+    let report = trust_report(&dev.student, &dev.feature_names, &data.packets, 1, 3);
+    println!("aggregate audit over {} flagged/missed decisions:", report.decisions_audited);
+    println!(
+        "  true positives {}  false positives {}  false negatives {}",
+        report.true_positives, report.false_positives, report.false_negatives
+    );
+    println!(
+        "  evidence cites analyst-expected features in {:.1}% of true positives",
+        report.evidence_match_rate * 100.0
+    );
+    println!("\nthe shape to notice: the model's stated evidence (UDP, source port 53,");
+    println!("large datagrams) is what an analyst would have checked by hand — the");
+    println!("paper's recipe for turning operator distrust into adoption.");
+}

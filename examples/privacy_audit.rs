@@ -1,0 +1,83 @@
+//! Privacy-preserving data collection (Figure 1's gate, §3 and §5):
+//! prefix-preserving anonymization of the data store, the governance
+//! policy matrix, and the cost of privacy in model utility.
+//!
+//! ```sh
+//! cargo run --release --example privacy_audit
+//! ```
+
+use campuslab::control::{run_development_loop, DevLoopConfig};
+use campuslab::privacy::{
+    common_prefix_len_v4, DataClass, PolicyEngine, PrefixPreservingAnon, Purpose, Role,
+    ScrubPolicy, Scrubber,
+};
+use campuslab::testbed::{collect, Scenario};
+use std::net::Ipv4Addr;
+
+fn main() {
+    println!("== Privacy audit ==\n");
+
+    // --- 1. Prefix preservation, demonstrated -----------------------------
+    let anon = PrefixPreservingAnon::new(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+    println!("prefix-preserving anonymization (same /24 stays a shared /24):");
+    let a = Ipv4Addr::new(10, 1, 7, 20);
+    let b = Ipv4Addr::new(10, 1, 7, 99);
+    let c = Ipv4Addr::new(10, 1, 200, 5);
+    for (x, y) in [(a, b), (a, c)] {
+        println!(
+            "  {} vs {}: shared /{} -> anonymized {} vs {}: shared /{}",
+            x,
+            y,
+            common_prefix_len_v4(x, y),
+            anon.anonymize_v4(x),
+            anon.anonymize_v4(y),
+            common_prefix_len_v4(anon.anonymize_v4(x), anon.anonymize_v4(y)),
+        );
+    }
+
+    // --- 2. The governance matrix -----------------------------------------
+    println!("\ngovernance policy (who may touch what, and it is audited):");
+    let mut engine = PolicyEngine::new();
+    let attempts = [
+        (Role::ItOperator, Purpose::SecurityOperations, DataClass::RawPackets),
+        (Role::Researcher, Purpose::Research, DataClass::AnonymizedRecords),
+        (Role::Researcher, Purpose::Research, DataClass::RawPackets),
+        (Role::Auditor, Purpose::Audit, DataClass::IdentifiedRecords),
+        (Role::External, Purpose::Research, DataClass::AggregateStats),
+    ];
+    for (i, &(role, purpose, class)) in attempts.iter().enumerate() {
+        let verdict = engine.check(i as u64, role, purpose, class);
+        println!("  {role:?} / {purpose:?} / {class:?} -> {verdict:?}");
+    }
+    println!("  audit log holds {} entries, {} denials",
+        engine.audit_log().len(),
+        engine.denials().count());
+
+    // --- 3. The utility cost of privacy (experiment E4) -------------------
+    println!("\nmodel utility on raw vs anonymized records:");
+    let data = collect(&Scenario::small());
+    let raw_dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+
+    let scrubber = Scrubber::new(0xFEED_FACE_CAFE, ScrubPolicy::internal_research());
+    let scrubbed: Vec<_> = data
+        .packets
+        .iter()
+        .map(|r| scrubber.scrub_packet(r.clone()))
+        .collect();
+    let anon_dev = run_development_loop(&scrubbed, &DevLoopConfig::default());
+
+    println!(
+        "  raw:        student F1 {:.3}, fidelity {:.1}%",
+        raw_dev.student_eval.f1_attack,
+        raw_dev.fidelity * 100.0
+    );
+    println!(
+        "  anonymized: student F1 {:.3}, fidelity {:.1}%",
+        anon_dev.student_eval.f1_attack,
+        anon_dev.fidelity * 100.0
+    );
+    println!("\nthe shape to notice: prefix-preserving anonymization keeps the feature");
+    println!("structure the detector relies on (ports, sizes, protocol mix), so the");
+    println!("utility cost of privacy is small — the paper's bet that privacy and");
+    println!("useful research data can coexist inside a university.");
+}

@@ -1,0 +1,4 @@
+//! `campuslab-suite` is the workspace-root package hosting the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The library surface lives in the [`campuslab`] facade crate.
+pub use campuslab;
