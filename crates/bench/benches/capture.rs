@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
         Ipv4Addr::new(10, 1, 255, 53),
         40_000,
         53,
-        Payload::Bytes(payload),
+        Payload::Bytes(payload.into()),
         64,
         GroundTruth::default(),
     );

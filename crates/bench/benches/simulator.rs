@@ -17,9 +17,87 @@ fn small_campus() -> Campus {
     })
 }
 
+/// src -- s1 ==(20 Mbps, 20 KB queue)== s2 -- dst: a burst into the
+/// bottleneck backs the queue up and exercises both `forward` branches
+/// (admit and hand-back-on-drop) with the tap observing every traversal.
+fn congested_pair() -> (Network, NodeId, LinkId) {
+    use std::net::Ipv4Addr;
+    let mut b = TopologyBuilder::new(7);
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    let src = b.host("src", Ipv4Addr::new(10, 0, 0, 1));
+    let dst = b.host("dst", Ipv4Addr::new(10, 0, 1, 1));
+    b.attach_host(src, s1, LinkSpec::gbps(1, SimDuration::from_micros(5)));
+    b.attach_host(dst, s2, LinkSpec::gbps(1, SimDuration::from_micros(5)));
+    let bottleneck = b.link(
+        s1,
+        s2,
+        LinkSpec {
+            rate_bps: 20_000_000,
+            propagation: SimDuration::from_micros(50),
+            queue: QueueDiscipline::DropTail { capacity_bytes: 20_000 },
+        },
+    );
+    (b.build(), src, bottleneck)
+}
+
+/// Tap observer for the congested bench: counts instead of storing, so
+/// hook overhead stays constant per packet.
+struct TapCounter {
+    taps: u64,
+    drops: u64,
+}
+
+impl SimHooks for TapCounter {
+    fn on_tap(&mut self, _now: SimTime, _link: LinkId, _dir: Dir, _packet: &Packet, _cmds: &mut Commands) {
+        self.taps += 1;
+    }
+    fn on_drop(&mut self, _now: SimTime, _reason: DropReason, _packet: &Packet, _cmds: &mut Commands) {
+        self.drops += 1;
+    }
+}
+
 fn bench(c: &mut Criterion) {
+    // Machine-readable results for CI and the perf history; the
+    // BENCH_JSON environment variable still overrides the path.
+    c.json_path("BENCH_netsim.json");
+
     c.bench_function("simulator/build_default_campus", |b| {
         b.iter(|| black_box(Campus::build(CampusConfig::default()).net.node_count()))
+    });
+
+    c.bench_function("simulator/congested_queue_tapped", |b| {
+        use std::net::Ipv4Addr;
+        b.iter_batched(
+            || {
+                let (mut net, src, bottleneck) = congested_pair();
+                net.set_tap(bottleneck, true);
+                let mut pb = PacketBuilder::new();
+                // 900-byte datagrams every 2 us: ~3.6 Gbps offered into a
+                // 20 Mbps bottleneck — the queue fills fast and stays full,
+                // so most offers take the drop (hand-back) branch.
+                for i in 0..1_000u64 {
+                    let pkt = pb.udp_v4(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        Ipv4Addr::new(10, 0, 1, 1),
+                        (1024 + i % 512) as u16,
+                        53,
+                        Payload::Synthetic(900),
+                        64,
+                        GroundTruth::default(),
+                    );
+                    net.inject(SimTime::from_micros(i * 2), src, pkt);
+                }
+                net
+            },
+            |mut net| {
+                let mut hooks = TapCounter { taps: 0, drops: 0 };
+                net.run(&mut hooks, None);
+                assert!(hooks.drops > 0, "bench no longer congests the queue");
+                black_box((net.stats.delivered, hooks.taps, hooks.drops))
+            },
+            BatchSize::LargeInput,
+        )
     });
 
     // One second of campus traffic, generated once, replayed per iteration.

@@ -2,6 +2,10 @@
 //! output path is given as the first argument, writes the combined report
 //! there as well.
 //!
+//! Experiments fan out across cores (each is internally seeded, so the
+//! tables are identical to a sequential run); set `CAMPUSLAB_JOBS=1` to
+//! force sequential execution.
+//!
 //! ```sh
 //! cargo run --release -p campuslab-bench --bin all_experiments -- results.txt
 //! ```
@@ -9,18 +13,28 @@ use std::io::Write;
 
 fn main() {
     let out_path = std::env::args().nth(1);
+    let started = std::time::Instant::now();
+    let reports = campuslab_bench::runner::run_all();
+    let wall = started.elapsed();
     let mut combined = String::new();
-    for (id, title, runner) in campuslab_bench::all() {
-        let header = format!("\n================ {id}: {title} ================\n\n");
+    let mut cpu = std::time::Duration::ZERO;
+    for report in &reports {
+        let header = format!(
+            "\n================ {}: {} ================\n\n",
+            report.id, report.title
+        );
         print!("{header}");
-        let started = std::time::Instant::now();
-        let body = runner();
-        println!("{body}");
-        println!("[{id} regenerated in {:?}]", started.elapsed());
+        println!("{}", report.body);
+        println!("[{} regenerated in {:?}]", report.id, report.elapsed);
         combined.push_str(&header);
-        combined.push_str(&body);
+        combined.push_str(&report.body);
         combined.push('\n');
+        cpu += report.elapsed;
     }
+    eprintln!(
+        "regenerated {} experiments in {wall:?} wall ({cpu:?} of experiment time)",
+        reports.len()
+    );
     if let Some(path) = out_path {
         let mut f = std::fs::File::create(&path).expect("create report file");
         f.write_all(combined.as_bytes()).expect("write report");

@@ -14,7 +14,7 @@ pub fn run() -> String {
     let mut out = String::from("E4: privacy-preserving data collection\n\n");
 
     // --- invariant verification at scale ------------------------------------
-    let anon = PrefixPreservingAnon::new(0xE4_0123_4567_89ab_cdef);
+    let anon = PrefixPreservingAnon::new(0xE401_2345_6789_ABCD);
     let mut checked = 0u64;
     let mut violations = 0u64;
     for a in 0..200u32 {

@@ -27,7 +27,7 @@ fn synthetic_task(bands: u32, rows: usize) -> PipelineProgram {
         row[3] = f64::from(wire_len);
         row[10] = 1.0; // is_udp
         x.push(row);
-        y.push(usize::from((wire_len / band_width) % 2 == 0));
+        y.push(usize::from((wire_len / band_width).is_multiple_of(2)));
     }
     let tree = DecisionTree::fit(
         &Dataset::new(x, y, names),

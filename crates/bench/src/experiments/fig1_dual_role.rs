@@ -16,12 +16,13 @@ pub fn run() -> String {
     // --- data source half -------------------------------------------------
     let data = platform.collect();
     let store = platform.store(&data);
-    let scrubber = Scrubber::new(0xF16_1, ScrubPolicy::internal_research());
-    let anonymized = data
+    let scrubber = Scrubber::new(0xF161, ScrubPolicy::internal_research());
+    let scrubbed: Vec<_> = data
         .packets
         .iter()
         .map(|r| scrubber.scrub_packet(r.clone()))
-        .count();
+        .collect();
+    let anonymized = scrubbed.len();
     let summary = summarize(&store);
     let storage = store.storage();
 

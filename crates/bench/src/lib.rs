@@ -8,6 +8,7 @@
 
 pub mod table;
 pub mod experiments;
+pub mod runner;
 
 pub use experiments::{
     e10_mitigation_styles, e11_resilience, e12_multiclass, e13_perf_pinpoint, e1_ddos_gate, e2_lossless_capture,
@@ -15,8 +16,11 @@ pub use experiments::{
     e7_cross_campus, e8_placement, e9_trust_report, fig1_dual_role, fig2_loops,
 };
 
-/// Every experiment, in report order: `(id, title, runner)`.
-pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
+/// One registry entry: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// Every experiment, in report order.
+pub fn all() -> Vec<Experiment> {
     vec![
         ("F1", "Figure 1: the dual role (data source + testbed)", fig1_dual_role::run),
         ("F2", "Figure 2: slow development loop vs fast control loop", fig2_loops::run),

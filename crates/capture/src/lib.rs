@@ -34,6 +34,10 @@
 //! assert_eq!(ring.stats.dropped, 0);
 //! ```
 
+
+#![deny(rust_2018_idioms)]
+#![deny(unreachable_pub)]
+
 pub mod records;
 pub mod ring;
 pub mod flow;
@@ -44,6 +48,7 @@ pub mod sketch;
 pub mod monitor;
 
 pub use flow::{FlowTable, FlowTableConfig, FlowTableStats};
+pub use campuslab_netsim::fxhash::{self, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::{service_tag, DnsExtractor, ServiceTag, TcpRttEstimator};
 pub use monitor::{BorderTapHooks, Monitor, MonitorConfig, MonitorStats};
 pub use pcap::{PcapPacket, PcapReader, PcapWriter};

@@ -235,7 +235,7 @@ mod tests {
             Ipv4Addr::new(10, 1, 255, 53),
             40_000,
             53,
-            Payload::Bytes(bytes),
+            Payload::Bytes(bytes.into()),
             64,
             GroundTruth::default(),
         )
@@ -283,7 +283,7 @@ mod tests {
             Ipv4Addr::new(10, 1, 1, 10),
             53,
             40_000,
-            Payload::Bytes(bytes),
+            Payload::Bytes(bytes.into()),
             64,
             GroundTruth { flow_id: 0, app_class: 1, attack: Some(1) },
         );
@@ -319,7 +319,7 @@ mod tests {
             Ipv4Addr::new(10, 1, 255, 53),
             1000,
             53,
-            Payload::Bytes(vec![1, 2, 3]),
+            Payload::Bytes(vec![1, 2, 3].into()),
             64,
             GroundTruth::default(),
         );

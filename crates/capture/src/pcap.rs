@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert!(PcapReader::new(&buf[..]).is_err());
     }
 

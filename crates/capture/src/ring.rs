@@ -12,9 +12,9 @@
 //! lossless envelope the paper claims campus-scale (10–20 Gbps) traffic
 //! sits comfortably inside.
 
+use crate::fxhash::FxHasher;
 use crate::records::FlowKey;
 use campuslab_netsim::SimTime;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Sizing of one capture ring.
@@ -112,7 +112,7 @@ impl CaptureArray {
     }
 
     fn steer(&self, key: &FlowKey) -> usize {
-        let mut h = DefaultHasher::new();
+        let mut h = FxHasher::default();
         // Canonicalize so both directions of a conversation land on the
         // same ring (flow affinity, like real RSS with symmetric hashing).
         key.canonical().hash(&mut h);

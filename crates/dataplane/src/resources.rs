@@ -153,11 +153,10 @@ impl SwitchModel {
             return 0;
         }
         let by_slots = self.total_slots() / fp.stage_slots.max(1);
-        let by_tcam = if fp.tcam_entries == 0 {
-            usize::MAX
-        } else {
-            self.total_tcam() / fp.tcam_entries
-        };
+        let by_tcam = self
+            .total_tcam()
+            .checked_div(fp.tcam_entries)
+            .unwrap_or(usize::MAX);
         by_slots.min(by_tcam)
     }
 }

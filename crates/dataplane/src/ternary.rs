@@ -40,7 +40,7 @@ fn width_mask(width: u32) -> u32 {
 /// minimal set of aligned power-of-two blocks (the standard greedy
 /// prefix-expansion; worst case `2*width - 2` entries).
 pub fn range_to_ternary(lo: u32, hi: u32, width: u32) -> Vec<TernaryMatch> {
-    assert!(width >= 1 && width <= 32);
+    assert!((1..=32).contains(&width));
     let field_mask = width_mask(width);
     assert!(lo <= hi, "empty range");
     assert!(hi <= field_mask, "range exceeds field width");

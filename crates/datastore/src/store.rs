@@ -3,8 +3,7 @@
 //! indexing, mining, and visualizing network data" (paper §5).
 
 use crate::query::{FlowQuery, PacketQuery};
-use campuslab_capture::{DnsMetaRecord, FlowRecord, PacketRecord, SensorRecord};
-use std::collections::HashMap;
+use campuslab_capture::{DnsMetaRecord, FlowRecord, FxHashMap, PacketRecord, SensorRecord};
 use std::net::IpAddr;
 
 /// Approximate serialized sizes for storage accounting.
@@ -35,8 +34,8 @@ pub struct DataStore {
     flows: Vec<FlowRecord>,
     dns: Vec<DnsMetaRecord>,
     sensors: Vec<SensorRecord>,
-    by_host: HashMap<IpAddr, Vec<u32>>,
-    by_port: HashMap<u16, Vec<u32>>,
+    by_host: FxHashMap<IpAddr, Vec<u32>>,
+    by_port: FxHashMap<u16, Vec<u32>>,
     by_attack: Vec<u32>,
     /// Packet-table positions `< indexed_upto` are covered by the indexes.
     indexed_upto: usize,
@@ -79,8 +78,8 @@ impl DataStore {
     }
 
     fn index_one(
-        by_host: &mut HashMap<IpAddr, Vec<u32>>,
-        by_port: &mut HashMap<u16, Vec<u32>>,
+        by_host: &mut FxHashMap<IpAddr, Vec<u32>>,
+        by_port: &mut FxHashMap<u16, Vec<u32>>,
         by_attack: &mut Vec<u32>,
         rec: &PacketRecord,
         pos: u32,

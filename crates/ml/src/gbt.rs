@@ -132,7 +132,7 @@ impl RegFit<'_> {
                 }
                 let right_g = total_g - left_g;
                 let gain = left_g * left_g / nl + right_g * right_g / nr - parent_score;
-                if gain > 1e-12 && best.map_or(true, |(_, _, b)| gain > b) {
+                if gain > 1e-12 && best.is_none_or(|(_, _, b)| gain > b) {
                     best = Some((f, thr, gain));
                 }
             }

@@ -25,7 +25,7 @@ impl Default for LogisticConfig {
             learning_rate: 0.1,
             l2: 1e-4,
             batch_size: 64,
-            seed: 0x106_1,
+            seed: 0x1061,
         }
     }
 }
@@ -69,17 +69,16 @@ impl LogisticRegression {
                     let p = model.predict_proba(&data.x[i]);
                     for k in 0..c {
                         let err = p[k] - f64::from(u8::from(data.y[i] == k));
-                        for f in 0..d {
-                            grad_w[k][f] += err * data.x[i][f];
+                        for (g, &x) in grad_w[k].iter_mut().zip(&data.x[i]) {
+                            *g += err * x;
                         }
                         grad_b[k] += err;
                     }
                 }
                 let scale = cfg.learning_rate / batch.len() as f64;
                 for k in 0..c {
-                    for f in 0..d {
-                        model.weights[k][f] -=
-                            scale * (grad_w[k][f] + cfg.l2 * model.weights[k][f]);
+                    for (w, &g) in model.weights[k].iter_mut().zip(&grad_w[k]) {
+                        *w -= scale * (g + cfg.l2 * *w);
                     }
                     model.biases[k] -= scale * grad_b[k];
                 }

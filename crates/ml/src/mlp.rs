@@ -120,14 +120,14 @@ impl Mlp {
                 }
                 let lr = cfg.learning_rate / batch.len() as f64;
                 for j in 0..h {
-                    for f in 0..d {
-                        model.w1[j][f] -= lr * gw1[j][f];
+                    for (w, &g) in model.w1[j].iter_mut().zip(&gw1[j]) {
+                        *w -= lr * g;
                     }
                     model.b1[j] -= lr * gb1[j];
                 }
                 for k in 0..c {
-                    for j in 0..h {
-                        model.w2[k][j] -= lr * gw2[k][j];
+                    for (w, &g) in model.w2[k].iter_mut().zip(&gw2[k]) {
+                        *w -= lr * g;
                     }
                     model.b2[k] -= lr * gb2[k];
                 }

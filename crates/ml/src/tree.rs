@@ -112,7 +112,7 @@ impl DecisionTree {
             counts[data.y[i]] += 1.0;
         }
         let total = idx.len() as f64;
-        let pure = counts.iter().any(|&c| c == total);
+        let pure = counts.contains(&total);
         if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || pure {
             return self.leaf(data, idx);
         }
@@ -155,11 +155,11 @@ impl DecisionTree {
                 let right: Vec<f64> = counts.iter().zip(&left).map(|(t, l)| t - l).collect();
                 let impurity = (nl / total) * gini(&left, nl) + (nr / total) * gini(&right, nr);
                 if impurity < parent_gini - 1e-12
-                    && best.map_or(true, |(_, _, b)| impurity < b)
+                    && best.is_none_or(|(_, _, b)| impurity < b)
                 {
                     best = Some((f, thr, impurity));
                 }
-                if best_any.map_or(true, |(_, _, b)| impurity < b) {
+                if best_any.is_none_or(|(_, _, b)| impurity < b) {
                     best_any = Some((f, thr, impurity));
                 }
             }

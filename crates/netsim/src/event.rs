@@ -1,8 +1,17 @@
 //! The discrete-event core: a deterministic time-ordered event queue.
+//!
+//! The future-event list is a hand-rolled 4-ary min-heap rather than
+//! `std::collections::BinaryHeap`. Campus-scale runs stage an entire
+//! second of injections before the loop starts, so the heap routinely
+//! holds tens of thousands of entries; the 4-ary layout halves the tree
+//! depth and keeps each sift's children within a cache line or two, which
+//! directly attacks the dominant `pop` cost in simulator profiles.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+/// Heap arity. Four children per node trades one extra comparison per
+/// level for half the levels and fewer cache misses.
+const ARITY: usize = 4;
 
 /// An event queue entry. Ordering is (time, sequence): two events at the
 /// same instant pop in insertion order, which makes every run of the
@@ -13,30 +22,25 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+impl<E> Entry<E> {
+    /// The min-heap sort key.
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.time.0, self.seq)
     }
 }
 
 /// A deterministic future-event list.
+///
+/// Two lanes back the queue. Schedules whose (time, seq) key is not below
+/// the tail of `staged` append there in O(1) — this absorbs the entire
+/// pre-run injection schedule, which arrives sorted by time. Everything
+/// else (events scheduled mid-run at `now + δ`, which lands before the
+/// staged tail) goes to the heap, so the heap only ever holds the small
+/// in-flight set instead of tens of thousands of future injections.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    entries: Vec<Entry<E>>,
+    staged: std::collections::VecDeque<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -51,7 +55,8 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            entries: Vec::new(),
+            staged: std::collections::VecDeque::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -70,29 +75,92 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        // Monotone schedules ride the sorted FIFO lane; out-of-order ones
+        // fall back to the heap. Keys are unique (seq increments), so the
+        // two lanes never tie.
+        if self.staged.back().is_none_or(|b| b.key() <= entry.key()) {
+            self.staged.push_back(entry);
+        } else {
+            self.entries.push(entry);
+            self.sift_up(self.entries.len() - 1);
+        }
     }
 
     /// Pop the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let from_heap = match (self.entries.first(), self.staged.front()) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(h), Some(s)) => h.key() < s.key(),
+        };
+        let entry = if from_heap {
+            let e = self.entries.swap_remove(0);
+            if !self.entries.is_empty() {
+                self.sift_down(0);
+            }
+            e
+        } else {
+            self.staged.pop_front().expect("staged front vanished")
+        };
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
 
     /// Time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.entries.first(), self.staged.front()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h.time),
+            (None, Some(s)) => Some(s.time),
+            (Some(h), Some(s)) => Some(if h.key() < s.key() { h.time } else { s.time }),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.entries.len() + self.staged.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.entries.is_empty() && self.staged.is_empty()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.entries[i].key() < self.entries[parent].key() {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.entries.len();
+        loop {
+            let first = i * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            let end = (first + ARITY).min(len);
+            for c in first + 1..end {
+                if self.entries[c].key() < self.entries[min].key() {
+                    min = c;
+                }
+            }
+            if self.entries[min].key() < self.entries[i].key() {
+                self.entries.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
     }
 }
 

@@ -40,13 +40,18 @@
 //! assert_eq!(stats.delivered, 1);
 //! ```
 
+#![deny(rust_2018_idioms)]
+#![deny(unreachable_pub)]
+
 pub mod time;
 pub mod event;
 pub mod packet;
 pub mod lpm;
 pub mod link;
 pub mod node;
+pub mod fxhash;
 pub mod network;
+pub mod par;
 pub mod topology;
 
 /// The types most users need, in one import.

@@ -66,7 +66,7 @@ const RED_WEIGHT: f64 = 0.05;
 #[derive(Debug)]
 struct DirQueue {
     discipline: QueueDiscipline,
-    packets: std::collections::VecDeque<(Packet, SimTime)>,
+    packets: std::collections::VecDeque<(Box<Packet>, SimTime)>,
     bytes: usize,
     avg_bytes: f64,
     /// Transmitter busy until this instant.
@@ -84,8 +84,15 @@ impl DirQueue {
         }
     }
 
-    /// Decide admission and enqueue; returns false when the packet drops.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut StdRng) -> bool {
+    /// Decide admission and enqueue; a rejected packet is handed back to
+    /// the caller rather than cloned up front, which keeps the admit path
+    /// copy-free.
+    fn enqueue(
+        &mut self,
+        pkt: Box<Packet>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Result<(), Box<Packet>> {
         let len = pkt.wire_len();
         let admitted = match self.discipline {
             QueueDiscipline::DropTail { capacity_bytes } => self.bytes + len <= capacity_bytes,
@@ -113,11 +120,13 @@ impl DirQueue {
         if admitted {
             self.bytes += len;
             self.packets.push_back((pkt, now));
+            Ok(())
+        } else {
+            Err(pkt)
         }
-        admitted
     }
 
-    fn dequeue(&mut self) -> Option<(Packet, SimTime)> {
+    fn dequeue(&mut self) -> Option<(Box<Packet>, SimTime)> {
         let (pkt, t) = self.packets.pop_front()?;
         self.bytes -= pkt.wire_len();
         Some((pkt, t))
@@ -198,16 +207,21 @@ pub struct Link {
 }
 
 /// What happened when a packet was offered to a link.
+///
+/// Drop outcomes hand the rejected packet back to the caller, so observers
+/// (drop hooks) can inspect it without the forwarding path ever cloning a
+/// packet speculatively.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Offer {
     /// Transmission begins now; the packet pops out after `tx + propagation`.
     StartedTransmit,
     /// Transmitter busy; packet queued.
     Queued,
-    /// Dropped by the queue discipline.
-    DroppedQueue,
-    /// Dropped by the fault model (random loss or outage).
-    DroppedFault,
+    /// Dropped by the queue discipline; the packet is returned.
+    DroppedQueue(Box<Packet>),
+    /// Dropped by the fault model (random loss or outage); the packet is
+    /// returned.
+    DroppedFault(Box<Packet>),
 }
 
 impl Link {
@@ -256,25 +270,27 @@ impl Link {
     /// Returns what happened; when `StartedTransmit` is returned the caller
     /// must schedule `tx_done` at `now + serialization` and delivery at
     /// `now + serialization + propagation`.
-    pub fn offer(&mut self, dir: Dir, pkt: Packet, now: SimTime, rng: &mut StdRng) -> Offer {
-        let s = &mut self.stats[dir.index()];
+    pub fn offer(&mut self, dir: Dir, pkt: Box<Packet>, now: SimTime, rng: &mut StdRng) -> Offer {
         if self.fault.is_down(now)
             || (self.fault.drop_probability > 0.0 && rng.gen::<f64>() < self.fault.drop_probability)
         {
-            s.dropped_fault += 1;
-            return Offer::DroppedFault;
+            self.stats[dir.index()].dropped_fault += 1;
+            return Offer::DroppedFault(pkt);
         }
         let q = &mut self.queues[dir.index()];
         if q.busy_until <= now && q.packets.is_empty() {
             // Idle transmitter: the packet goes straight to the wire.
+            q.bytes += pkt.wire_len();
             q.packets.push_back((pkt, now));
-            q.bytes += q.packets.back().map(|(p, _)| p.wire_len()).unwrap_or(0);
             Offer::StartedTransmit
-        } else if q.enqueue(pkt, now, rng) {
-            Offer::Queued
         } else {
-            s.dropped_queue += 1;
-            Offer::DroppedQueue
+            match q.enqueue(pkt, now, rng) {
+                Ok(()) => Offer::Queued,
+                Err(pkt) => {
+                    self.stats[dir.index()].dropped_queue += 1;
+                    Offer::DroppedQueue(pkt)
+                }
+            }
         }
     }
 
@@ -285,7 +301,7 @@ impl Link {
         &mut self,
         dir: Dir,
         now: SimTime,
-    ) -> Option<(Packet, SimDuration, SimDuration)> {
+    ) -> Option<(Box<Packet>, SimDuration, SimDuration)> {
         let q = &mut self.queues[dir.index()];
         let (pkt, enqueued_at) = q.dequeue()?;
         let tx = SimDuration::transmission(pkt.wire_len(), self.rate_bps);
@@ -346,7 +362,7 @@ mod tests {
         let mut l = link(1_000_000_000, 100_000);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng),
             Offer::StartedTransmit
         );
         let (p, tx, total) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
@@ -361,17 +377,19 @@ mod tests {
         let mut l = link(1_000_000, 2000);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng),
             Offer::StartedTransmit
         );
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         // Transmitter busy for 8ms: the next offers queue until capacity.
-        assert_eq!(l.offer(Dir::AtoB, pkt(958), SimTime(1), &mut rng), Offer::Queued);
-        assert_eq!(l.offer(Dir::AtoB, pkt(958), SimTime(2), &mut rng), Offer::Queued);
-        assert_eq!(
-            l.offer(Dir::AtoB, pkt(958), SimTime(3), &mut rng),
-            Offer::DroppedQueue
-        );
+        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(1), &mut rng), Offer::Queued);
+        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(2), &mut rng), Offer::Queued);
+        let rejected = Box::new(pkt(958));
+        let rejected_id = rejected.id;
+        match l.offer(Dir::AtoB, rejected, SimTime(3), &mut rng) {
+            Offer::DroppedQueue(p) => assert_eq!(p.id, rejected_id),
+            other => panic!("expected queue drop, got {other:?}"),
+        }
         assert_eq!(l.stats[0].dropped_queue, 1);
         assert!(l.has_backlog(Dir::AtoB));
     }
@@ -380,11 +398,11 @@ mod tests {
     fn directions_are_independent() {
         let mut l = link(1_000_000, 2000);
         let mut rng = StdRng::seed_from_u64(1);
-        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         // Reverse direction is still idle.
         assert_eq!(
-            l.offer(Dir::BtoA, pkt(100), SimTime(1), &mut rng),
+            l.offer(Dir::BtoA, Box::new(pkt(100)), SimTime(1), &mut rng),
             Offer::StartedTransmit
         );
     }
@@ -394,20 +412,20 @@ mod tests {
         let mut l = link(1_000_000_000, 100_000);
         l.fault.drop_probability = 1.0;
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(
-            l.offer(Dir::AtoB, pkt(10), SimTime::ZERO, &mut rng),
-            Offer::DroppedFault
-        );
+        assert!(matches!(
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO, &mut rng),
+            Offer::DroppedFault(_)
+        ));
         l.fault.drop_probability = 0.0;
         l.fault.outages.push(Outage {
             from: SimTime::from_secs(10),
             until: SimTime::from_secs(20),
         });
         assert!(l.fault.is_down(SimTime::from_secs(15)));
-        assert_eq!(
-            l.offer(Dir::AtoB, pkt(10), SimTime::from_secs(15), &mut rng),
-            Offer::DroppedFault
-        );
+        assert!(matches!(
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::from_secs(15), &mut rng),
+            Offer::DroppedFault(_)
+        ));
         assert!(!l.fault.is_down(SimTime::from_secs(20)));
         assert_eq!(l.stats[0].dropped_fault, 2);
     }
@@ -429,14 +447,14 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(42);
         // Saturate the transmitter, then flood the queue.
-        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         let mut dropped = 0;
         let mut queued = 0;
         for i in 0..200 {
-            match l.offer(Dir::AtoB, pkt(958), SimTime(i), &mut rng) {
+            match l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(i), &mut rng) {
                 Offer::Queued => queued += 1,
-                Offer::DroppedQueue => dropped += 1,
+                Offer::DroppedQueue(_) => dropped += 1,
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -449,9 +467,9 @@ mod tests {
     fn utilization_and_queue_delay_accounting() {
         let mut l = link(8_000_000, 1_000_000); // 1 byte per microsecond
         let mut rng = StdRng::seed_from_u64(1);
-        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
-        l.offer(Dir::AtoB, pkt(958), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
         // Second packet waits 1000 us for the first to serialize.
         let busy_until = SimTime::from_micros(1000);
         let (_, _, _) = l.start_transmit(Dir::AtoB, busy_until).unwrap();

@@ -12,7 +12,6 @@ use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Why a packet failed to reach its destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,10 +142,12 @@ pub struct NullHooks;
 
 impl SimHooks for NullHooks {}
 
+/// Events keep packets boxed so a heap entry is pointer-sized: sifting
+/// the binary heap moves words, not whole packets.
 enum Event {
-    Inject { node: NodeId, packet: Packet },
+    Inject { node: NodeId, packet: Box<Packet> },
     TxDone { link: LinkId, dir: Dir },
-    Arrive { link: LinkId, dir: Dir, packet: Packet },
+    Arrive { link: LinkId, dir: Dir, packet: Box<Packet> },
     Timer { token: u64 },
 }
 
@@ -156,8 +157,6 @@ pub struct Network {
     pub(crate) links: Vec<Link>,
     queue: EventQueue<Event>,
     tapped: Vec<bool>,
-    /// Packet id -> injection time, for end-to-end latency.
-    in_flight: HashMap<u64, SimTime>,
     rng: StdRng,
     pub stats: NetStats,
 }
@@ -171,7 +170,6 @@ impl Network {
             links: Vec::new(),
             queue: EventQueue::new(),
             tapped: Vec::new(),
-            in_flight: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
         }
@@ -238,8 +236,11 @@ impl Network {
     }
 
     /// Schedule a packet injection: the packet departs `node` at `at`.
+    ///
+    /// The packet is boxed here, once; from this point it moves through
+    /// queues, events and hooks as a pointer and is never copied.
     pub fn inject(&mut self, at: SimTime, node: NodeId, packet: Packet) {
-        self.queue.schedule(at, Event::Inject { node, packet });
+        self.queue.schedule(at, Event::Inject { node, packet: Box::new(packet) });
     }
 
     /// Schedule an `on_timer` callback.
@@ -291,9 +292,11 @@ impl Network {
 
     fn dispatch(&mut self, now: SimTime, event: Event, hooks: &mut dyn SimHooks, cmds: &mut Commands) {
         match event {
-            Event::Inject { node, packet } => {
+            Event::Inject { node, mut packet } => {
                 self.stats.injected += 1;
-                self.in_flight.insert(packet.id, now);
+                // Injection time rides in the packet: end-to-end latency
+                // needs no side lookup table keyed by packet id.
+                packet.injected_at = now;
                 self.forward(now, node, packet, hooks, cmds);
             }
             Event::TxDone { link, dir } => {
@@ -317,7 +320,7 @@ impl Network {
         &mut self,
         now: SimTime,
         node: NodeId,
-        mut packet: Packet,
+        mut packet: Box<Packet>,
         hooks: &mut dyn SimHooks,
         cmds: &mut Commands,
     ) {
@@ -326,7 +329,6 @@ impl Network {
             if filter.decide(now, &packet) == FilterAction::Drop {
                 self.nodes[node.0].stats.dropped_filter += 1;
                 self.stats.dropped_filter += 1;
-                self.in_flight.remove(&packet.id);
                 hooks.on_drop(now, DropReason::Filter, &packet, cmds);
                 return;
             }
@@ -341,14 +343,12 @@ impl Network {
                     n.stats.received_bytes += packet.wire_len() as u64;
                     self.stats.delivered += 1;
                     self.stats.delivered_bytes += packet.wire_len() as u64;
-                    let injected_at = self.in_flight.remove(&packet.id).unwrap_or(now);
-                    let latency = now - injected_at;
+                    let latency = now - packet.injected_at;
                     self.stats.latency_sum += latency;
                     hooks.on_deliver(now, node, &packet, latency, cmds);
                 } else {
                     self.nodes[node.0].stats.dropped_no_route += 1;
                     self.stats.dropped_no_route += 1;
-                    self.in_flight.remove(&packet.id);
                     hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
                 }
             }
@@ -356,7 +356,6 @@ impl Network {
                 if !packet.network.decrement_ttl() {
                     self.nodes[node.0].stats.dropped_ttl += 1;
                     self.stats.dropped_ttl += 1;
-                    self.in_flight.remove(&packet.id);
                     hooks.on_drop(now, DropReason::Ttl, &packet, cmds);
                     return;
                 }
@@ -371,34 +370,30 @@ impl Network {
         &mut self,
         now: SimTime,
         node: NodeId,
-        packet: Packet,
+        packet: Box<Packet>,
         hooks: &mut dyn SimHooks,
         cmds: &mut Commands,
     ) {
-        let Some(link_id) = self.nodes[node.0].route(packet.network.dst()) else {
+        let Some(link_id) = self.nodes[node.0].route_cached(packet.network.dst()) else {
             self.nodes[node.0].stats.dropped_no_route += 1;
             self.stats.dropped_no_route += 1;
-            self.in_flight.remove(&packet.id);
             hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
             return;
         };
         let link = &mut self.links[link_id.0];
         let dir = link.dir_from(node);
-        let packet_id = packet.id;
-        // Pre-compute the drop callback data: offer consumes the packet.
-        let snapshot = packet.clone();
+        // The link hands a rejected packet back, so the happy path moves
+        // the packet by value with no speculative clone.
         match link.offer(dir, packet, now, &mut self.rng) {
             Offer::StartedTransmit => self.begin_transmission(now, link_id, dir),
             Offer::Queued => {}
-            Offer::DroppedQueue => {
+            Offer::DroppedQueue(packet) => {
                 self.stats.dropped_queue += 1;
-                self.in_flight.remove(&packet_id);
-                hooks.on_drop(now, DropReason::Queue, &snapshot, cmds);
+                hooks.on_drop(now, DropReason::Queue, &packet, cmds);
             }
-            Offer::DroppedFault => {
+            Offer::DroppedFault(packet) => {
                 self.stats.dropped_fault += 1;
-                self.in_flight.remove(&packet_id);
-                hooks.on_drop(now, DropReason::Fault, &snapshot, cmds);
+                hooks.on_drop(now, DropReason::Fault, &packet, cmds);
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Nodes: hosts, switches and the upstream "internet" aggregation point.
 
 use crate::link::LinkId;
+use crate::fxhash::FxHashMap;
 use crate::lpm::LpmTable;
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -71,6 +72,10 @@ pub struct Node {
     /// Optional ingress program (switches only, but harmless on hosts).
     pub filter: Option<Box<dyn PacketFilter>>,
     pub stats: NodeStats,
+    /// Memoized `route()` results. The LPM table is a linear scan, and a
+    /// forwarding node sees the same handful of destinations over and over;
+    /// cleared whenever a route is installed.
+    route_cache: FxHashMap<IpAddr, Option<LinkId>>,
 }
 
 impl std::fmt::Debug for Node {
@@ -96,6 +101,7 @@ impl Node {
             ports: Vec::new(),
             filter: None,
             stats: NodeStats::default(),
+            route_cache: FxHashMap::default(),
         }
     }
 
@@ -108,6 +114,7 @@ impl Node {
             ports: Vec::new(),
             filter: None,
             stats: NodeStats::default(),
+            route_cache: FxHashMap::default(),
         }
     }
 
@@ -135,11 +142,26 @@ impl Node {
         }
     }
 
+    /// `route()`, memoized. Switches pay the linear LPM scan once per
+    /// destination; hosts just read their gateway.
+    pub(crate) fn route_cached(&mut self, dst: IpAddr) -> Option<LinkId> {
+        match &self.kind {
+            NodeKind::Host { gateway, .. } => *gateway,
+            NodeKind::Switch { routes } => *self
+                .route_cache
+                .entry(dst)
+                .or_insert_with(|| routes.lookup(dst).copied()),
+        }
+    }
+
     /// Install a route (switches only; panics on hosts, which route via
     /// their gateway).
     pub fn install_route(&mut self, prefix: crate::lpm::Prefix, link: LinkId) {
         match &mut self.kind {
-            NodeKind::Switch { routes } => routes.insert(prefix, link),
+            NodeKind::Switch { routes } => {
+                routes.insert(prefix, link);
+                self.route_cache.clear();
+            }
             NodeKind::Host { .. } => panic!("cannot install routes on a host"),
         }
     }

@@ -6,12 +6,15 @@
 //! (bulk data whose content is irrelevant). `to_bytes` serializes the packet
 //! into an exact wire image for pcap dumps and byte-accurate capture.
 
+use crate::time::SimTime;
 use campuslab_wire::udp::PseudoHeader;
 use campuslab_wire::{
     EtherType, EthernetAddress, EthernetRepr, IcmpRepr, IpProtocol, Ipv4Repr, Ipv6Repr, TcpRepr,
     UdpRepr, ETHERNET_HEADER_LEN,
 };
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Ground-truth annotations attached by the traffic generator. These ride
 /// along with the packet *in the simulator only* — they are the labels a
@@ -144,11 +147,22 @@ impl TransportHeader {
 }
 
 /// Packet payload: real bytes when content matters, a bare length otherwise.
+///
+/// Real bytes live behind an `Arc<[u8]>`, so cloning a payload (and hence a
+/// [`Packet`]) is a reference-count bump, never a buffer copy. Payload bytes
+/// are immutable once built, which is exactly the semantics of bytes on the
+/// wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
-    Bytes(Vec<u8>),
+    Bytes(Arc<[u8]>),
     /// `len` bytes of zeros when serialized.
     Synthetic(usize),
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload::Bytes(bytes.into())
+    }
 }
 
 impl Payload {
@@ -181,8 +195,18 @@ impl Payload {
     }
 }
 
+/// Number of `Packet::clone` calls since process start. The forwarding fast
+/// path is designed to move packets without copying them; this counter lets
+/// tests assert the property instead of trusting it.
+static PACKET_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total `Packet::clone` calls so far, process-wide.
+pub fn clone_count() -> u64 {
+    PACKET_CLONES.load(Ordering::Relaxed)
+}
+
 /// A packet in flight through the simulated campus network.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique id, assigned at injection.
     pub id: u64,
@@ -192,6 +216,26 @@ pub struct Packet {
     pub transport: TransportHeader,
     pub payload: Payload,
     pub truth: GroundTruth,
+    /// Instant the simulator injected this packet, stamped by the event
+    /// loop; carried in the packet so end-to-end latency needs no side
+    /// lookup table.
+    pub injected_at: SimTime,
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        PACKET_CLONES.fetch_add(1, Ordering::Relaxed);
+        Packet {
+            id: self.id,
+            src_mac: self.src_mac,
+            dst_mac: self.dst_mac,
+            network: self.network,
+            transport: self.transport.clone(),
+            payload: self.payload.clone(),
+            truth: self.truth,
+            injected_at: self.injected_at,
+        }
+    }
 }
 
 impl Packet {
@@ -303,6 +347,7 @@ impl PacketBuilder {
             transport: TransportHeader::Udp(UdpRepr { src_port, dst_port }),
             payload,
             truth,
+            injected_at: SimTime::ZERO,
         }
     }
 
@@ -339,6 +384,7 @@ impl PacketBuilder {
             transport: TransportHeader::Tcp(tcp),
             payload,
             truth,
+            injected_at: SimTime::ZERO,
         }
     }
 
@@ -373,6 +419,7 @@ impl PacketBuilder {
             transport: TransportHeader::Udp(UdpRepr { src_port, dst_port }),
             payload,
             truth,
+            injected_at: SimTime::ZERO,
         }
     }
 
@@ -402,6 +449,7 @@ impl PacketBuilder {
             transport: TransportHeader::Icmp(icmp),
             payload: Payload::Synthetic(0),
             truth,
+            injected_at: SimTime::ZERO,
         }
     }
 }
@@ -427,7 +475,7 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 53),
             40000,
             53,
-            Payload::Bytes(body),
+            Payload::Bytes(body.into()),
             64,
             GroundTruth::default(),
         );

@@ -88,8 +88,16 @@ impl SimDuration {
     /// The time a given number of bytes occupies a link of `bits_per_sec`.
     pub fn transmission(bytes: usize, bits_per_sec: u64) -> Self {
         debug_assert!(bits_per_sec > 0, "link rate must be positive");
-        let bits = bytes as u128 * 8;
-        SimDuration(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+        let bytes = bytes as u64;
+        // Any realistic frame fits the u64 numerator; the wide path only
+        // exists for pathological byte counts, so the per-packet cost is a
+        // single u64 divide instead of a u128 one.
+        if bytes <= u64::MAX / 8_000_000_000 {
+            SimDuration(bytes * 8_000_000_000 / bits_per_sec)
+        } else {
+            let bits = bytes as u128 * 8;
+            SimDuration(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+        }
     }
 }
 

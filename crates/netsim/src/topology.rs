@@ -113,13 +113,11 @@ impl TopologyBuilder {
                     }
                 }
             }
-            for v in 0..n {
+            for (v, &hop) in via.iter().enumerate() {
                 if v == origin.0 {
                     continue;
                 }
-                if let (Some(link), NodeKind::Switch { .. }) =
-                    (via[v], &self.net.nodes[v].kind)
-                {
+                if let (Some(link), NodeKind::Switch { .. }) = (hop, &self.net.nodes[v].kind) {
                     self.net.nodes[v].install_route(prefix, link);
                 }
             }

@@ -6,6 +6,7 @@ use crate::scenario::{collect, AttackScenario, Scenario};
 use campuslab_capture::PacketRecord;
 use campuslab_control::{run_development_loop, DevLoopConfig};
 use campuslab_ml::{Classifier, ConfusionMatrix};
+use campuslab_netsim::par::parallel_map;
 use campuslab_netsim::CampusConfig;
 use campuslab_traffic::{AppClass, WorkloadConfig};
 use serde::Serialize;
@@ -143,16 +144,16 @@ impl CrossCampusResult {
 /// deployable model on every campus's held-out data.
 pub fn cross_campus(sites: &[CampusSite], dev: &DevLoopConfig) -> CrossCampusResult {
     assert!(sites.len() >= 2, "need at least two campuses");
+    // Each campus is a self-seeded simulation, so collection fans out
+    // across cores; parallel_map keeps site order, so results are
+    // byte-identical to a sequential sweep.
     let collected: Vec<Vec<PacketRecord>> =
-        sites.iter().map(|s| collect(&s.scenario).packets).collect();
+        parallel_map(sites, |_, s| collect(&s.scenario).packets);
     // Each campus runs the shared algorithm privately. The protocol uses a
     // shuffled split so every campus's held-out set contains both classes
     // regardless of where the attack fell in its trace.
     let dev = DevLoopConfig { shuffle_split: true, ..dev.clone() };
-    let results: Vec<_> = collected
-        .iter()
-        .map(|records| run_development_loop(records, &dev))
-        .collect();
+    let results: Vec<_> = parallel_map(&collected, |_, records| run_development_loop(records, &dev));
     let mut f1 = vec![vec![0.0; sites.len()]; sites.len()];
     for (i, trained) in results.iter().enumerate() {
         let student: &dyn Classifier = &trained.student;

@@ -147,7 +147,7 @@ pub fn tcp_exchange(
         cseq = cseq.wrapping_add(chunk as u32);
         sent += chunk;
         i += 1;
-        if i % ACK_EVERY == 0 {
+        if i.is_multiple_of(ACK_EVERY) {
             push(
                 env,
                 t + half_rtt,
@@ -182,7 +182,7 @@ pub fn tcp_exchange(
         sseq = sseq.wrapping_add(chunk as u32);
         sent += chunk;
         i += 1;
-        if i % ACK_EVERY == 0 {
+        if i.is_multiple_of(ACK_EVERY) {
             push(
                 env,
                 t + half_rtt,
@@ -251,7 +251,7 @@ pub fn dns_lookup(
         resolver.addr,
         sport,
         53,
-        Payload::Bytes(qbytes),
+        Payload::Bytes(qbytes.into()),
         64,
         truth,
     );
@@ -273,7 +273,7 @@ pub fn dns_lookup(
         client.addr,
         53,
         sport,
-        Payload::Bytes(rbytes),
+        Payload::Bytes(rbytes.into()),
         64,
         truth,
     );
@@ -310,7 +310,7 @@ pub fn dns_upstream_lookup(
         upstream.addr,
         sport,
         53,
-        Payload::Bytes(qbytes),
+        Payload::Bytes(qbytes.into()),
         64,
         truth,
     );
@@ -349,7 +349,7 @@ pub fn dns_upstream_lookup(
         resolver.addr,
         53,
         sport,
-        Payload::Bytes(rbytes),
+        Payload::Bytes(rbytes.into()),
         ttl,
         truth,
     );
@@ -469,7 +469,7 @@ pub fn ssh_session(
     let exchanges = env.rng.gen_range(5..40);
     let gap = crate::distributions::Exponential::new(2.0);
     for _ in 0..exchanges {
-        t = t + SimDuration::from_secs_f64(gap.sample(env.rng).min(10.0));
+        t += SimDuration::from_secs_f64(gap.sample(env.rng).min(10.0));
         let request_bytes = env.rng.gen_range(48..120);
         let response_bytes = env.rng.gen_range(48..400);
         t = tcp_exchange(
@@ -584,7 +584,7 @@ pub fn ping_session(
         );
         env.schedule.push(t_reply, target.node, rep);
         last = t_reply + SimDuration::from_nanos(rtt.as_nanos() / 2);
-        t = t + SimDuration::from_secs(1); // classic 1 Hz ping
+        t += SimDuration::from_secs(1); // classic 1 Hz ping
     }
     last
 }

@@ -62,7 +62,7 @@ pub fn dns_amplification(env: &mut SessionEnv<'_>, a: &DnsAmplification) {
             reflector.addr,
             sport,
             53,
-            Payload::Bytes(qbytes),
+            Payload::Bytes(qbytes.into()),
             64,
             truth,
         );
@@ -93,7 +93,7 @@ pub fn dns_amplification(env: &mut SessionEnv<'_>, a: &DnsAmplification) {
             a.victim.addr,
             53,
             sport,
-            Payload::Bytes(rbytes),
+            Payload::Bytes(rbytes.into()),
             ttl,
             truth,
         );

@@ -140,7 +140,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xD15_7_0)
+        StdRng::seed_from_u64(0xD1570)
     }
 
     #[test]

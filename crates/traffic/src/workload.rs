@@ -136,7 +136,7 @@ impl<'c> TrafficGenerator<'c> {
                 let frac = t.as_secs_f64() / self.cfg.day_length.as_secs_f64();
                 gap /= diurnal_multiplier(frac, 0.2).max(1e-3);
             }
-            t = t + SimDuration::from_secs_f64(gap);
+            t += SimDuration::from_secs_f64(gap);
             if t.since(SimTime::ZERO) > self.cfg.duration {
                 break;
             }
@@ -154,8 +154,8 @@ impl<'c> TrafficGenerator<'c> {
         let ext_rtt = self.cfg.external_rtt;
         let int_rtt = self.cfg.internal_rtt;
         let domain_idx = {
-            let k = self.host_pop.sample(&mut self.rng) % self.domains.len();
-            k
+            
+            self.host_pop.sample(&mut self.rng) % self.domains.len()
         };
         let server = self.random_external();
         let upstream = self.random_external();

@@ -190,7 +190,7 @@ mod tests {
     fn wrong_version_is_rejected() {
         let mut buf = Vec::new();
         sample().emit(&mut buf);
-        buf.extend_from_slice(&vec![0u8; 40]);
+        buf.extend_from_slice(&[0u8; 40]);
         buf[0] = 0x65;
         assert_eq!(Ipv4Repr::parse(&buf).unwrap_err(), Error::BadVersion);
     }

@@ -86,7 +86,7 @@ impl TcpRepr {
         if self.window_scale.is_some() {
             opts += 3;
         }
-        TCP_HEADER_LEN + (opts + 3) / 4 * 4
+        TCP_HEADER_LEN + opts.div_ceil(4) * 4
     }
 
     /// Parse a segment, verifying the checksum against the pseudo-header.

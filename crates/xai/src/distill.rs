@@ -27,7 +27,7 @@ impl Default for DistillConfig {
             tree: TreeConfig::shallow(6),
             rounds: 4,
             samples_per_round: 2_000,
-            seed: 0xD157_11,
+            seed: 0x00D1_5711,
         }
     }
 }
@@ -127,7 +127,7 @@ fn fit_student(
 fn synthesize(rng: &mut StdRng, data: &Dataset) -> Vec<f64> {
     let base = &data.x[rng.gen_range(0..data.len())];
     let mut row = base.clone();
-    let k = rng.gen_range(1..=row.len().max(1).min(4));
+    let k = rng.gen_range(1..=row.len().clamp(1, 4));
     for _ in 0..k {
         let f = rng.gen_range(0..row.len());
         row[f] = data.x[rng.gen_range(0..data.len())][f];

@@ -1,0 +1,7 @@
+#!/bin/sh
+# The checks a change must pass before merging. Run from the repo root.
+set -eu
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,234 @@
+//! An offline micro-benchmark harness exposing the `criterion` API subset
+//! CampusLab's benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is warmed up, then the iteration count is
+//! doubled until one sample exceeds a minimum window, then several samples
+//! run and the median per-iteration time is reported. Results print as
+//! `bench: <name> ... <ns> ns/iter` and can additionally be written as a
+//! JSON array via [`Criterion::json_path`] or the `BENCH_JSON` environment
+//! variable — that is what produces `BENCH_netsim.json`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim always times the
+/// routine per batch element and never times setup, so the variants only
+/// tune how many inputs are pre-built per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as given to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample at the final measurement size.
+    pub iters_per_sample: u64,
+}
+
+/// Benchmark driver; collects results from `bench_function` calls.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    json_path: Option<PathBuf>,
+    min_sample: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_FAST=1 trims the measurement window so `cargo test`
+        // (which runs benches once in test mode) stays quick.
+        let fast = std::env::var("CRITERION_FAST").is_ok();
+        Criterion {
+            results: Vec::new(),
+            json_path: std::env::var_os("BENCH_JSON").map(PathBuf::from),
+            min_sample: if fast { Duration::from_millis(5) } else { Duration::from_millis(60) },
+            samples: if fast { 2 } else { 7 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Also write results as a JSON array to `path` at summary time
+    /// (the `BENCH_JSON` environment variable overrides this).
+    pub fn json_path(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        if self.json_path.is_none() {
+            self.json_path = Some(path.into());
+        }
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            min_sample: self.min_sample,
+            samples: self.samples,
+            result_ns: None,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let ns = bencher.result_ns.unwrap_or(0.0);
+        eprintln!("bench: {name:<48} {ns:>14.1} ns/iter");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            iters_per_sample: bencher.iters,
+        });
+        self
+    }
+
+    /// Finished results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the result table and write the JSON report if configured.
+    /// Called by the `main` that [`criterion_main!`] generates.
+    pub fn final_summary(&self) {
+        if let Some(path) = &self.json_path {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "  {{\"name\": {:?}, \"ns_per_iter\": {}, \"iters_per_sample\": {}}}",
+                    r.name, r.ns_per_iter, r.iters_per_sample
+                ));
+            }
+            out.push_str("\n]\n");
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("bench: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("bench: wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    min_sample: Duration,
+    samples: usize,
+    result_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over many iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + find an iteration count that fills the sample window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= self.min_sample || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+        self.iters = iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        // Grow the per-sample batch count until the timed portion fills
+        // the sample window.
+        let mut batches: u64 = 1;
+        loop {
+            let inputs: Vec<I> =
+                (0..batch as u64 * batches).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            if start.elapsed() >= self.min_sample || batches >= 1 << 20 {
+                break;
+            }
+            batches *= 2;
+        }
+        let total_iters = batch as u64 * batches;
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let inputs: Vec<I> = (0..total_iters).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                start.elapsed().as_nanos() as f64 / total_iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(per_iter[per_iter.len() / 2]);
+        self.iters = total_iters;
+    }
+}
+
+/// Bundle bench target functions into a group runner, mirroring
+/// upstream's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running each group, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

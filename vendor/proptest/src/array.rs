@@ -1,0 +1,21 @@
+//! Fixed-size array strategies.
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Strategy for `[T; 13]` from an element strategy.
+pub fn uniform13<S: Strategy>(element: S) -> UniformArray<S, 13> {
+    UniformArray { element }
+}
+
+/// An `[T; N]` strategy; see [`uniform13`].
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.sample(rng))
+    }
+}

@@ -1,0 +1,92 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Anything usable as the size argument of [`vec`] / [`hash_set`]:
+/// an exact `usize` or a `usize` range.
+pub trait SizeRange {
+    /// Draw a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        rng.rng.gen_range(self.start..self.end)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`; duplicates are redrawn (bounded attempts),
+/// so the set may come up short of the requested size if the element
+/// domain is tiny.
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut set = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while set.len() < n && attempts < n * 20 + 100 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

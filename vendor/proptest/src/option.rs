@@ -1,0 +1,28 @@
+//! `Option<T>` strategies.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Strategy for `Option<T>`: `Some` three times out of four, like
+/// upstream proptest's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Glob-import surface mirroring `proptest::prelude::*`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+    ProptestConfig, Strategy,
+};

@@ -1,0 +1,25 @@
+//! Sampling from fixed value sets.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// Strategy choosing uniformly from a fixed list of values.
+pub fn select<T: Clone + 'static>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "sample::select needs at least one value");
+    Select { values }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng.gen_range(0..self.values.len());
+        self.values[i].clone()
+    }
+}

@@ -1,0 +1,11 @@
+//! The RNG handed to strategies while a property runs.
+
+use rand::rngs::StdRng;
+
+/// Deterministic per-test random source.
+///
+/// Built by the [`proptest!`](crate::proptest) harness via
+/// [`TestRng::deterministic`]; strategies draw from the inner [`StdRng`].
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}

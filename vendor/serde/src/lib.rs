@@ -1,0 +1,322 @@
+//! An offline, JSON-only subset of `serde`.
+//!
+//! The registry is unreachable in this build environment, so CampusLab
+//! vendors the slice of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, realized directly as JSON
+//! writing/reading (in the spirit of `miniserde`). There is no
+//! `Serializer`/`Deserializer` abstraction — [`Serialize`] appends JSON
+//! text and [`Deserialize`] reads from a parsed [`json::Value`] tree. The
+//! output format matches what upstream `serde_json` would produce for the
+//! same derives (newtype structs are transparent, unit enum variants are
+//! strings, data variants are single-key objects), so stored artifacts
+//! stay compatible if the real crates ever return.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can be read back from a parsed JSON tree.
+pub trait Deserialize: Sized {
+    /// Build a value from a parsed JSON node.
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_for_ints {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                v.as_num()?
+                    .parse::<$t>()
+                    .map_err(|_| json::Error::new(concat!("invalid ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_for_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_num()?.parse::<u128>().map_err(|_| json::Error::new("invalid u128"))
+    }
+}
+
+/// Integer formatting without going through `format!` machinery twice.
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+macro_rules! impl_for_floats {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's float Display is the shortest representation
+                    // that round-trips exactly, which is what persistence
+                    // (model thresholds!) relies on.
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                if matches!(v, json::Value::Null) {
+                    return Ok(<$t>::NAN);
+                }
+                v.as_num()?
+                    .parse::<$t>()
+                    .map_err(|_| json::Error::new(concat!("invalid ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_for_floats!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            _ => Err(json::Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            _ => Err(json::Error::new("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_array()?.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let items = v.as_array()?;
+        if items.len() != N {
+            return Err(json::Error::new("array length mismatch"));
+        }
+        let mut parsed = Vec::with_capacity(N);
+        for item in items {
+            parsed.push(T::deserialize_json(item)?);
+        }
+        parsed
+            .try_into()
+            .map_err(|_| json::Error::new("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        T::deserialize_json(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_for_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let items = v.as_array()?;
+                let mut it = items.iter();
+                let parsed = ($(
+                    $name::deserialize_json(
+                        it.next().ok_or_else(|| json::Error::new("tuple too short"))?,
+                    )?,
+                )+);
+                if it.next().is_some() {
+                    return Err(json::Error::new("tuple too long"));
+                }
+                Ok(parsed)
+            }
+        }
+    )*};
+}
+
+impl_for_tuples! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for std::net::IpAddr {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped_str(out, &self.to_string());
+    }
+}
+
+impl Deserialize for std::net::IpAddr {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => s.parse().map_err(|_| json::Error::new("invalid ip address")),
+            _ => Err(json::Error::new("expected ip address string")),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped_str(out, &self.to_string());
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => s.parse().map_err(|_| json::Error::new("invalid ipv4 address")),
+            _ => Err(json::Error::new("expected ipv4 address string")),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped_str(out, &self.to_string());
+    }
+}
+
+impl Deserialize for std::net::Ipv6Addr {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => s.parse().map_err(|_| json::Error::new("invalid ipv6 address")),
+            _ => Err(json::Error::new("expected ipv6 address string")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Keys are serialized then re-wrapped as strings; only string-ish
+        // keys make valid JSON, which is all CampusLab uses.
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut key = String::new();
+            k.serialize_json(&mut key);
+            if key.starts_with('"') {
+                out.push_str(&key);
+            } else {
+                json::write_escaped_str(out, &key);
+            }
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}

@@ -1,0 +1,447 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset, implemented directly on `proc_macro` token trees (the
+//! build environment has no syn/quote).
+//!
+//! Supported shapes — exactly what CampusLab's types use:
+//! - structs with named fields
+//! - tuple structs (arity 1 is serde's transparent "newtype" form)
+//! - enums with unit, named-field, and tuple variants
+//!
+//! Unsupported (panics with a clear message): generic types and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+/// Emit a JSON `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl must parse")
+}
+
+/// Emit a JSON `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next());
+                let shape = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::NamedStruct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::TupleStruct(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("vendored serde derive does not support generic type `{name}`")
+                    }
+                    other => panic!("unexpected token after struct name: {other:?}"),
+                };
+                return TypeDef { name, shape };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next());
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return TypeDef { name, shape: Shape::Enum(parse_variants(g.stream())) };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("vendored serde derive does not support generic type `{name}`")
+                    }
+                    other => panic!("unexpected token after enum name: {other:?}"),
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+fn expect_ident(t: Option<TokenTree>) -> String {
+    match t {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            None => return fields,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field name, found {other:?}"),
+                }
+                // Consume the type: everything up to a comma at angle depth 0.
+                let mut angle_depth = 0i32;
+                loop {
+                    match tokens.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                            angle_depth += 1;
+                            tokens.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                            angle_depth -= 1;
+                            tokens.next();
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                            tokens.next();
+                            break;
+                        }
+                        Some(_) => {
+                            tokens.next();
+                        }
+                    }
+                }
+            }
+            other => panic!("expected field name, found {other:?}"),
+        }
+    }
+}
+
+/// Arity of a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            None => return variants,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                code.push_str(&format!(
+                    "out.push_str(\"{sep}\\\"{f}\\\":\");\n\
+                     serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::TupleStruct(1) => {
+            "serde::Serialize::serialize_json(&self.0, out);".to_string()
+        }
+        Shape::TupleStruct(arity) => {
+            let mut code = String::from("out.push('[');\n");
+            for i in 0..*arity {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');");
+            code
+        }
+        Shape::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner =
+                            format!("out.push_str(\"{{\\\"{vname}\\\":{{\");\n");
+                        for (i, f) in fields.iter().enumerate() {
+                            let sep = if i == 0 { "" } else { "," };
+                            inner.push_str(&format!(
+                                "out.push_str(\"{sep}\\\"{f}\\\":\");\n\
+                                 serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        inner.push_str("out.push_str(\"}}\");\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n{inner}}}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("x{i}")).collect();
+                        let pat = bindings.join(", ");
+                        let mut inner = String::new();
+                        if *arity == 1 {
+                            inner.push_str(&format!(
+                                "out.push_str(\"{{\\\"{vname}\\\":\");\n\
+                                 serde::Serialize::serialize_json(x0, out);\n\
+                                 out.push('}}');\n"
+                            ));
+                        } else {
+                            inner.push_str(&format!(
+                                "out.push_str(\"{{\\\"{vname}\\\":[\");\n"
+                            ));
+                            for (i, b) in bindings.iter().enumerate() {
+                                if i > 0 {
+                                    inner.push_str("out.push(',');\n");
+                                }
+                                inner.push_str(&format!(
+                                    "serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            inner.push_str("out.push_str(\"]}}\");\n");
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => {{\n{inner}}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: serde::Deserialize::deserialize_json(\
+                         serde::json::field(pairs, \"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "let pairs = v.as_object()?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize_json(v)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let mut items = String::new();
+            for i in 0..*arity {
+                items.push_str(&format!(
+                    "serde::Deserialize::deserialize_json(&arr[{i}])?,\n"
+                ));
+            }
+            format!(
+                "let arr = v.as_array()?;\n\
+                 if arr.len() != {arity} {{\n\
+                     return Err(serde::json::Error::new(\"tuple struct arity mismatch\"));\n\
+                 }}\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: serde::Deserialize::deserialize_json(\
+                                     serde::json::field(fields, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let fields = inner.as_object()?;\n\
+                                 Ok({name}::{vname} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(arity) => {
+                        if *arity == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{vname}(\
+                                     serde::Deserialize::deserialize_json(inner)?)),\n"
+                            ));
+                        } else {
+                            let mut items = String::new();
+                            for i in 0..*arity {
+                                items.push_str(&format!(
+                                    "serde::Deserialize::deserialize_json(&arr[{i}])?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let arr = inner.as_array()?;\n\
+                                     if arr.len() != {arity} {{\n\
+                                         return Err(serde::json::Error::new(\"variant arity mismatch\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({items}))\n\
+                                 }}\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     serde::json::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         _ => Err(serde::json::Error::new(\"unknown variant\")),\n\
+                     }},\n\
+                     serde::json::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let inner = &pairs[0].1;\n\
+                         let _ = inner;\n\
+                         match pairs[0].0.as_str() {{\n\
+                             {data_arms}\
+                             _ => Err(serde::json::Error::new(\"unknown variant\")),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::json::Error::new(\"expected enum\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_json(v: &serde::json::Value) \
+                 -> Result<Self, serde::json::Error> {{\n\
+                 let _ = &v;\n{body}\n}}\n\
+         }}"
+    )
+}

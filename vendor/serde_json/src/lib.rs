@@ -1,0 +1,43 @@
+//! Offline facade matching the `serde_json` entry points CampusLab uses
+//! (`to_string`, `to_writer`, `from_str`, `from_reader`, `Error`), backed
+//! by the vendored `serde` JSON core.
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::json::Value;
+
+/// Serialization/deserialization error.
+pub type Error = serde::json::Error;
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::new(&format!("io error: {e}")))
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::json::parse(s)?;
+    T::deserialize_json(&value)
+}
+
+/// Deserialize a value from a reader producing JSON text.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::new(&format!("io error: {e}")))?;
+    from_str(&text)
+}
