@@ -1,0 +1,4 @@
+//! Regenerates the `e14_chaos` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e14_chaos::run());
+}

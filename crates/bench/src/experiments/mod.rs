@@ -16,3 +16,4 @@ pub mod e10_mitigation_styles;
 pub mod e11_resilience;
 pub mod e12_multiclass;
 pub mod e13_perf_pinpoint;
+pub mod e14_chaos;

@@ -11,9 +11,10 @@ pub mod experiments;
 pub mod runner;
 
 pub use experiments::{
-    e10_mitigation_styles, e11_resilience, e12_multiclass, e13_perf_pinpoint, e1_ddos_gate, e2_lossless_capture,
-    e3_datastore_query, e4_privacy_utility, e5_distillation, e6_dataplane_compile,
-    e7_cross_campus, e8_placement, e9_trust_report, fig1_dual_role, fig2_loops,
+    e10_mitigation_styles, e11_resilience, e12_multiclass, e13_perf_pinpoint, e14_chaos,
+    e1_ddos_gate, e2_lossless_capture, e3_datastore_query, e4_privacy_utility, e5_distillation,
+    e6_dataplane_compile, e7_cross_campus, e8_placement, e9_trust_report, fig1_dual_role,
+    fig2_loops,
 };
 
 /// One registry entry: `(id, title, runner)`.
@@ -37,6 +38,7 @@ pub fn all() -> Vec<Experiment> {
         ("E11", "Failure injection: road-testing through an outage", e11_resilience::run),
         ("E12", "Multi-class attack identification, five concurrent tasks", e12_multiclass::run),
         ("E13", "Performance pinpointing from passive handshake RTTs", e13_perf_pinpoint::run),
+        ("E14", "Robustness under chaos: graceful degradation sweep", e14_chaos::run),
     ]
 }
 
@@ -45,8 +47,8 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 15);
+        assert_eq!(all.len(), 16);
         let ids: std::collections::HashSet<&str> = all.iter().map(|(id, _, _)| *id).collect();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
     }
 }

@@ -7,10 +7,10 @@ use crate::meta::{DnsExtractor, TcpRttEstimator};
 use crate::pcap::PcapWriter;
 use crate::records::{Direction, DnsMetaRecord, FlowRecord, PacketRecord, TcpRttRecord};
 use crate::ring::{CaptureArray, RingConfig, RingStats};
-use campuslab_netsim::{Commands, Dir, LinkId, Packet, SimHooks, SimTime};
+use campuslab_netsim::{Commands, Dir, LinkId, Outage, Packet, SimHooks, SimTime};
 
 /// Monitor sizing and feature switches.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MonitorConfig {
     pub ring: RingConfig,
     pub rings: usize,
@@ -20,6 +20,13 @@ pub struct MonitorConfig {
     pub write_pcap: bool,
     /// How often the monitor polls flow timeouts.
     pub poll_interval_ns: u64,
+    /// Tap blackout windows: the appliance is blind (reboot, optic pulled,
+    /// span port reconfigured) and packets pass unobserved. Counted in
+    /// `blackout_dropped` so the telemetry gap is explicit, not silent.
+    pub blackouts: Vec<Outage>,
+    /// Sampled telemetry: keep 1 of every N observed packets (0 or 1 keeps
+    /// everything). Deterministic counter-based sampling, so runs replay.
+    pub sample_keep_1_in: u64,
 }
 
 impl Default for MonitorConfig {
@@ -30,17 +37,31 @@ impl Default for MonitorConfig {
             flow: FlowTableConfig::default(),
             write_pcap: false,
             poll_interval_ns: 1_000_000_000,
+            blackouts: Vec::new(),
+            sample_keep_1_in: 0,
         }
     }
 }
 
-/// Aggregate monitor counters.
+/// Aggregate monitor counters. Conservation law:
+/// `observed == captured + ring_dropped + blackout_dropped + sampled_out`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorStats {
     pub observed: u64,
     pub captured: u64,
     pub ring_dropped: u64,
+    /// Packets that crossed the wire during a tap blackout window.
+    pub blackout_dropped: u64,
+    /// Packets discarded by the sampling stage.
+    pub sampled_out: u64,
     pub bytes_captured: u64,
+}
+
+impl MonitorStats {
+    /// Packets lost to monitoring for any reason.
+    pub fn telemetry_lost(&self) -> u64 {
+        self.ring_dropped + self.blackout_dropped + self.sampled_out
+    }
 }
 
 /// The capture appliance at the campus border.
@@ -55,6 +76,7 @@ pub struct Monitor {
     rtt_records: Vec<TcpRttRecord>,
     pcap: Option<PcapWriter<Vec<u8>>>,
     last_poll_ns: u64,
+    sample_seq: u64,
     pub stats: MonitorStats,
 }
 
@@ -76,14 +98,32 @@ impl Monitor {
             rtt_records: Vec::new(),
             pcap,
             last_poll_ns: 0,
+            sample_seq: 0,
             cfg,
             stats: MonitorStats::default(),
         }
     }
 
+    /// True when the tap is blind at `now`.
+    pub fn in_blackout(&self, now: SimTime) -> bool {
+        !self.cfg.blackouts.is_empty() && self.cfg.blackouts.iter().any(|w| w.contains(now))
+    }
+
     /// Observe one packet on the tapped wire.
     pub fn observe(&mut self, now: SimTime, direction: Direction, pkt: &Packet) {
         self.stats.observed += 1;
+        if self.in_blackout(now) {
+            self.stats.blackout_dropped += 1;
+            return;
+        }
+        if self.cfg.sample_keep_1_in > 1 {
+            let seq = self.sample_seq;
+            self.sample_seq += 1;
+            if !seq.is_multiple_of(self.cfg.sample_keep_1_in) {
+                self.stats.sampled_out += 1;
+                return;
+            }
+        }
         let record = PacketRecord::from_packet(now, direction, pkt);
         // Ring admission first: a packet the appliance cannot keep up with
         // is lost to monitoring entirely.
@@ -309,6 +349,68 @@ mod tests {
         // dominate the amplification-prone set.
         let attack = amp.iter().filter(|d| d.label_attack == 1).count();
         assert!(attack * 2 > amp.len(), "{attack} of {}", amp.len());
+    }
+
+    #[test]
+    fn blackout_windows_blind_the_tap_and_are_accounted() {
+        use campuslab_netsim::SimTime;
+        let campus = small_campus();
+        let mut gen = TrafficGenerator::new(
+            &campus,
+            WorkloadConfig {
+                duration: SimDuration::from_secs(2),
+                sessions_per_sec: 10.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut schedule = gen.generate();
+        let mut net = campus.net;
+        schedule.apply_to(&mut net);
+        let mut hooks = BorderTapHooks::new(
+            campus.border_link,
+            MonitorConfig {
+                blackouts: vec![Outage {
+                    from: SimTime::from_millis(500),
+                    until: SimTime::from_millis(1500),
+                }],
+                ..MonitorConfig::default()
+            },
+        );
+        net.run(&mut hooks, None);
+        let s = hooks.monitor.stats;
+        assert!(s.blackout_dropped > 0, "blackout saw no traffic: {s:?}");
+        assert!(s.captured > 0, "tap captured nothing outside the blackout");
+        assert_eq!(s.observed, s.captured + s.telemetry_lost());
+        // Nothing captured inside the window.
+        for r in hooks.monitor.packet_records() {
+            assert!(r.ts_ns < 500_000_000 || r.ts_ns >= 1_500_000_000);
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_deterministically() {
+        let campus = small_campus();
+        let mut gen = TrafficGenerator::new(
+            &campus,
+            WorkloadConfig {
+                duration: SimDuration::from_secs(2),
+                sessions_per_sec: 10.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut schedule = gen.generate();
+        let mut net = campus.net;
+        schedule.apply_to(&mut net);
+        let mut hooks = BorderTapHooks::new(
+            campus.border_link,
+            MonitorConfig { sample_keep_1_in: 4, ..MonitorConfig::default() },
+        );
+        net.run(&mut hooks, None);
+        let s = hooks.monitor.stats;
+        assert!(s.sampled_out > 0);
+        assert_eq!(s.observed, s.captured + s.telemetry_lost());
+        // Counter sampling keeps exactly ceil(observed / 4).
+        assert_eq!(s.captured, s.observed.div_ceil(4));
     }
 
     #[test]

@@ -87,12 +87,29 @@ impl<R: Read> PcapReader<R> {
     }
 
     /// Read the next packet; `Ok(None)` at clean end of stream.
+    ///
+    /// This is the fuzz-shaped entry point — it reads untrusted bytes — so
+    /// every malformed shape must come back as `Err`, never a panic, and a
+    /// record header cut short is distinguished from a clean EOF.
     pub fn next_packet(&mut self) -> io::Result<Option<PcapPacket>> {
         let mut rec = [0u8; 16];
-        match self.input.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        let mut filled = 0;
+        while filled < rec.len() {
+            match self.input.read(&mut rec[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if filled == 0 {
+            return Ok(None); // clean end of stream, between records
+        }
+        if filled < rec.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated record header: {filled} of 16 bytes"),
+            ));
         }
         let secs = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
         let usecs = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
@@ -101,8 +118,23 @@ impl<R: Read> PcapReader<R> {
         if caplen > 256 * 1024 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "absurd caplen"));
         }
+        if caplen > orig_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "caplen exceeds original frame length",
+            ));
+        }
         let mut data = vec![0u8; caplen as usize];
-        self.input.read_exact(&mut data)?;
+        self.input.read_exact(&mut data).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("truncated packet body: wanted {caplen} bytes"),
+                )
+            } else {
+                e
+            }
+        })?;
         Ok(Some(PcapPacket {
             ts_ns: u64::from(secs) * 1_000_000_000 + u64::from(usecs) * 1_000,
             data,
@@ -169,6 +201,56 @@ mod tests {
         buf.truncate(buf.len() - 10); // cut into the packet body
         let mut r = PcapReader::new(&buf[..]).unwrap();
         assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn truncated_record_header_is_an_error_not_clean_eof() {
+        let mut w = PcapWriter::new(Vec::new(), 65_535).unwrap();
+        w.write_packet(0, &[1; 50]).unwrap();
+        let full = w.finish().unwrap();
+        // Cut at every offset inside the second record header: 24-byte
+        // global header + 16-byte record header + 50-byte body, then 1..=15
+        // bytes of a would-be next record.
+        for extra in 1..16 {
+            let mut buf = full.clone();
+            buf.extend(std::iter::repeat_n(0u8, extra));
+            let mut r = PcapReader::new(&buf[..]).unwrap();
+            assert!(r.next_packet().unwrap().is_some());
+            let err = r.next_packet().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "extra={extra}");
+        }
+    }
+
+    #[test]
+    fn caplen_larger_than_orig_len_is_rejected() {
+        let mut buf = PcapWriter::new(Vec::new(), 65_535).unwrap().finish().unwrap();
+        // Hand-craft a record claiming caplen 100 but orig_len 4.
+        buf.extend_from_slice(&0u32.to_le_bytes()); // secs
+        buf.extend_from_slice(&0u32.to_le_bytes()); // usecs
+        buf.extend_from_slice(&100u32.to_le_bytes()); // caplen
+        buf.extend_from_slice(&4u32.to_le_bytes()); // orig_len
+        buf.extend_from_slice(&[0u8; 100]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let err = r.next_packet().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        // Fuzz-shaped sanity: feed prefixes of a valid stream plus noise.
+        let mut w = PcapWriter::new(Vec::new(), 65_535).unwrap();
+        for i in 0..4u8 {
+            w.write_packet(u64::from(i) * 1000, &[i; 30]).unwrap();
+        }
+        let full = w.finish().unwrap();
+        for cut in 0..full.len() {
+            let mut r = match PcapReader::new(&full[..cut]) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            // Must terminate with Ok(None) or Err, never panic or loop.
+            while let Ok(Some(_)) = r.next_packet() {}
+        }
     }
 
     #[test]

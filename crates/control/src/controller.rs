@@ -197,6 +197,61 @@ pub struct MitigationEvent {
     pub detected_at: SimTime,
     pub installed_at: SimTime,
     pub confidence: f64,
+    /// Install attempts spent before the rule landed (1 = first try).
+    pub attempts: u32,
+}
+
+/// A detection the controller gave up on: every install attempt flaked and
+/// the retry budget or timeout ran out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstallGiveUp {
+    pub victim: IpAddr,
+    pub detected_at: SimTime,
+    pub gave_up_at: SimTime,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+}
+
+/// Reliability model for the controller→switch install channel, with the
+/// retry discipline a production controller needs: bounded exponential
+/// backoff, a retry budget, and a wall-clock timeout per detection.
+#[derive(Debug, Clone)]
+pub struct InstallPolicy {
+    /// Probability one install attempt flakes (RPC lost, switch busy).
+    pub failure_probability: f64,
+    /// Retry budget per detection (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each failure.
+    pub base_backoff: SimDuration,
+    /// Backoff growth cap.
+    pub max_backoff: SimDuration,
+    /// Give up once this much time passed since the first attempt.
+    pub timeout: SimDuration,
+    /// Seed for the install-flake RNG — independent of the network RNG so
+    /// chaos in the control channel never perturbs the data plane.
+    pub seed: u64,
+}
+
+impl Default for InstallPolicy {
+    fn default() -> Self {
+        InstallPolicy {
+            failure_probability: 0.0,
+            max_attempts: 5,
+            base_backoff: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(100),
+            timeout: SimDuration::from_secs(2),
+            seed: 0x1257A11,
+        }
+    }
+}
+
+impl InstallPolicy {
+    /// Backoff before retry number `attempts` (bounded doubling).
+    fn backoff_after(&self, attempts: u32) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(20);
+        let ns = self.base_backoff.as_nanos().saturating_mul(1u64 << exp);
+        SimDuration::from_nanos(ns.min(self.max_backoff.as_nanos()))
+    }
 }
 
 /// Controller configuration.
@@ -210,6 +265,19 @@ pub struct MitigationControllerConfig {
     pub min_packets: usize,
     /// The signature program installed (scoped to the victim) on detection.
     pub program: PipelineProgram,
+    /// Install-channel reliability; `Default` is a perfectly reliable
+    /// channel, so existing callers behave exactly as before.
+    pub install: InstallPolicy,
+    /// Known tap blackout windows: the controller sees nothing during them
+    /// and announces them to the detector as telemetry gaps.
+    pub tap_blackouts: Vec<campuslab_netsim::Outage>,
+}
+
+/// A detection whose install is in flight (possibly mid-retry).
+struct PendingInstall {
+    det: Detection,
+    attempts: u32,
+    first_attempt: SimTime,
 }
 
 /// The controller: an implementation of `SimHooks` that closes the loop
@@ -218,10 +286,13 @@ pub struct MitigationController {
     cfg: MitigationControllerConfig,
     detector: StreamingWindowDetector,
     bank: BankHandle,
-    pending: HashMap<u64, Detection>,
+    pending: HashMap<u64, PendingInstall>,
     next_token: u64,
+    install_rng: rand::rngs::StdRng,
     /// Completed episodes.
     pub events: Vec<MitigationEvent>,
+    /// Detections abandoned after the retry budget/timeout ran out.
+    pub giveups: Vec<InstallGiveUp>,
 }
 
 impl MitigationController {
@@ -235,7 +306,7 @@ impl MitigationController {
         model: Box<dyn campuslab_ml::Classifier + Send>,
         bank: BankHandle,
     ) -> Self {
-        let detector = StreamingWindowDetector::new(
+        let mut detector = StreamingWindowDetector::new(
             model,
             campuslab_features::WindowConfig {
                 window_ns: cfg.window_ns,
@@ -243,13 +314,21 @@ impl MitigationController {
             },
             cfg.gate,
         );
+        // Known blackouts become explicit telemetry gaps, so windows the
+        // controller half-saw are de-skewed rather than misread as calm.
+        for w in &cfg.tap_blackouts {
+            detector.announce_gap(w.from.as_nanos(), w.until.as_nanos());
+        }
+        let install_rng = rand::SeedableRng::seed_from_u64(cfg.install.seed);
         MitigationController {
             cfg,
             detector,
             bank,
             pending: HashMap::new(),
             next_token: 0,
+            install_rng,
             events: Vec::new(),
+            giveups: Vec::new(),
         }
     }
 
@@ -257,14 +336,15 @@ impl MitigationController {
         for det in detections {
             // One active mitigation per victim.
             if self.events.iter().any(|e| e.victim == det.dst)
-                || self.pending.values().any(|p| p.dst == det.dst)
+                || self.pending.values().any(|p| p.det.dst == det.dst)
             {
                 continue;
             }
             let token = Self::TOKEN_BASE + self.next_token;
             self.next_token += 1;
-            self.pending.insert(token, det);
-            cmds.set_timer(now + self.cfg.placement.install_delay(), token);
+            let at = now + self.cfg.placement.install_delay();
+            self.pending.insert(token, PendingInstall { det, attempts: 0, first_attempt: at });
+            cmds.set_timer(at, token);
         }
     }
 }
@@ -274,21 +354,53 @@ impl campuslab_netsim::SimHooks for MitigationController {
         if link != self.cfg.tap {
             return;
         }
+        // During a tap blackout the controller is blind; the detector
+        // already knows the window is partially covered.
+        if !self.cfg.tap_blackouts.is_empty()
+            && self.cfg.tap_blackouts.iter().any(|w| w.contains(now))
+        {
+            return;
+        }
         let rec = PacketRecord::from_packet(now, Direction::from_border_dir(dir), packet);
         let detections = self.detector.observe(&rec);
         self.handle_detections(now, detections, cmds);
     }
 
-    fn on_timer(&mut self, now: SimTime, token: u64, _cmds: &mut Commands) {
-        if let Some(det) = self.pending.remove(&token) {
-            self.bank.add_program(Some(det.dst), self.cfg.program.clone());
+    fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
+        let Some(mut p) = self.pending.remove(&token) else { return };
+        p.attempts += 1;
+        let policy = &self.cfg.install;
+        let flaked = policy.failure_probability > 0.0
+            && rand::Rng::gen::<f64>(&mut self.install_rng) < policy.failure_probability;
+        if !flaked {
+            self.bank.add_program(Some(p.det.dst), self.cfg.program.clone());
             self.events.push(MitigationEvent {
-                victim: det.dst,
-                detected_at: SimTime(det.window_end_ns),
+                victim: p.det.dst,
+                detected_at: SimTime(p.det.window_end_ns),
                 installed_at: now,
-                confidence: det.confidence,
+                confidence: p.det.confidence,
+                attempts: p.attempts,
             });
+            return;
         }
+        // The attempt flaked. Retry with bounded exponential backoff while
+        // budget and timeout allow; otherwise surface the give-up instead
+        // of silently losing the mitigation.
+        let deadline = p.first_attempt + policy.timeout;
+        let backoff = policy.backoff_after(p.attempts);
+        if p.attempts >= policy.max_attempts || now + backoff > deadline {
+            self.giveups.push(InstallGiveUp {
+                victim: p.det.dst,
+                detected_at: SimTime(p.det.window_end_ns),
+                gave_up_at: now,
+                attempts: p.attempts,
+            });
+            return;
+        }
+        let token = Self::TOKEN_BASE + self.next_token;
+        self.next_token += 1;
+        cmds.set_timer(now + backoff, token);
+        self.pending.insert(token, p);
     }
 }
 
@@ -370,6 +482,126 @@ mod tests {
             filter.decide(SimTime::from_millis(3), &amp_packet(&mut b, victim)),
             FilterAction::Forward
         );
+    }
+
+    /// A model that never fires — controller tests drive detections by hand.
+    struct NeverModel;
+    impl campuslab_ml::Classifier for NeverModel {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, _row: &[f64]) -> Vec<f64> {
+            vec![1.0, 0.0]
+        }
+    }
+
+    fn controller_with(install: InstallPolicy) -> (MitigationController, BankHandle) {
+        let (_, handle) = BankFilter::new(extractor());
+        let ctrl = MitigationController::new(
+            MitigationControllerConfig {
+                tap: LinkId(0),
+                placement: Placement::Controller,
+                gate: 0.9,
+                window_ns: 1_000_000_000,
+                min_packets: 3,
+                program: drop_udp53_program(),
+                install,
+                tap_blackouts: Vec::new(),
+            },
+            Box::new(NeverModel),
+            handle.clone(),
+        );
+        (ctrl, handle)
+    }
+
+    fn detection(dst: IpAddr) -> crate::detector::Detection {
+        crate::detector::Detection {
+            dst,
+            window_end_ns: 1_000_000_000,
+            class: 1,
+            confidence: 0.95,
+            packets: 100,
+        }
+    }
+
+    #[test]
+    fn reliable_install_lands_on_first_attempt() {
+        let (mut ctrl, handle) = controller_with(InstallPolicy::default());
+        let victim: IpAddr = "10.1.1.10".parse().unwrap();
+        let mut cmds = Commands::default();
+        ctrl.handle_detections(SimTime::from_secs(1), vec![detection(victim)], &mut cmds);
+        use campuslab_netsim::SimHooks;
+        ctrl.on_timer(SimTime::from_secs(1), MitigationController::TOKEN_BASE, &mut cmds);
+        assert_eq!(ctrl.events.len(), 1);
+        assert_eq!(ctrl.events[0].attempts, 1);
+        assert!(ctrl.giveups.is_empty());
+        assert_eq!(handle.len(), 1);
+    }
+
+    #[test]
+    fn flaky_install_retries_then_gives_up_within_budget() {
+        let (mut ctrl, handle) = controller_with(InstallPolicy {
+            failure_probability: 1.0,
+            max_attempts: 3,
+            ..InstallPolicy::default()
+        });
+        let victim: IpAddr = "10.1.1.10".parse().unwrap();
+        let mut cmds = Commands::default();
+        let t0 = SimTime::from_secs(1);
+        ctrl.handle_detections(t0, vec![detection(victim)], &mut cmds);
+        use campuslab_netsim::SimHooks;
+        // Every attempt flakes; tokens are sequential.
+        let base = MitigationController::TOKEN_BASE;
+        ctrl.on_timer(t0, base, &mut cmds);
+        assert!(ctrl.giveups.is_empty(), "one failure must not give up");
+        ctrl.on_timer(t0 + SimDuration::from_millis(2), base + 1, &mut cmds);
+        ctrl.on_timer(t0 + SimDuration::from_millis(6), base + 2, &mut cmds);
+        assert!(ctrl.events.is_empty());
+        assert_eq!(ctrl.giveups.len(), 1, "budget of 3 exhausted");
+        assert_eq!(ctrl.giveups[0].attempts, 3);
+        assert_eq!(ctrl.giveups[0].victim, victim);
+        assert!(handle.is_empty(), "no rule must land after a give-up");
+    }
+
+    #[test]
+    fn flaky_install_gives_up_on_timeout() {
+        let (mut ctrl, _handle) = controller_with(InstallPolicy {
+            failure_probability: 1.0,
+            max_attempts: 100,
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(10),
+            timeout: SimDuration::from_millis(15),
+            ..InstallPolicy::default()
+        });
+        let victim: IpAddr = "10.1.1.10".parse().unwrap();
+        let mut cmds = Commands::default();
+        let t0 = SimTime::from_secs(1);
+        ctrl.handle_detections(t0, vec![detection(victim)], &mut cmds);
+        use campuslab_netsim::SimHooks;
+        let base = MitigationController::TOKEN_BASE;
+        // First attempt at t0+2ms flakes; retry would land at +12ms (ok,
+        // within the 15ms deadline), second flake at +12ms would retry at
+        // +22ms > deadline -> give up.
+        let first = t0 + Placement::Controller.install_delay();
+        ctrl.on_timer(first, base, &mut cmds);
+        assert!(ctrl.giveups.is_empty());
+        ctrl.on_timer(first + SimDuration::from_millis(10), base + 1, &mut cmds);
+        assert_eq!(ctrl.giveups.len(), 1);
+        assert_eq!(ctrl.giveups[0].attempts, 2);
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = InstallPolicy {
+            base_backoff: SimDuration::from_millis(2),
+            max_backoff: SimDuration::from_millis(10),
+            ..InstallPolicy::default()
+        };
+        assert_eq!(p.backoff_after(1), SimDuration::from_millis(2));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(4));
+        assert_eq!(p.backoff_after(3), SimDuration::from_millis(8));
+        assert_eq!(p.backoff_after(4), SimDuration::from_millis(10)); // capped
+        assert_eq!(p.backoff_after(40), SimDuration::from_millis(10));
     }
 
     #[test]

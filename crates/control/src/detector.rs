@@ -20,6 +20,12 @@ pub struct Detection {
 }
 
 /// Streaming wrapper over the window aggregator + a trained model.
+///
+/// Telemetry gaps (tap blackouts, sampling outages) are first-class:
+/// announce them with [`announce_gap`](Self::announce_gap) and each closed
+/// window is handled by its observed coverage — skipped when mostly blind,
+/// count-features de-skewed when partially blind — instead of silently
+/// feeding the model rates computed over a window it only half saw.
 pub struct StreamingWindowDetector {
     model: Box<dyn Classifier + Send>,
     cfg: WindowConfig,
@@ -27,12 +33,26 @@ pub struct StreamingWindowDetector {
     gate: f64,
     current_window: Option<u64>,
     buffer: Vec<PacketRecord>,
+    /// Announced telemetry gaps, `[from_ns, until_ns)`, assumed disjoint.
+    gaps: Vec<(u64, u64)>,
+    /// Below this observed fraction a window is skipped outright rather
+    /// than extrapolated from too little signal.
+    min_coverage: f64,
     /// Total records observed.
     pub observed: u64,
+    /// Windows skipped because telemetry coverage fell below the policy.
+    pub gap_windows_skipped: u64,
 }
 
+/// Positions of the count-rate features in the window feature vector
+/// (`campuslab_features::WINDOW_FEATURES`): the ones skewed by partial
+/// coverage and de-skewed by `1/coverage`.
+const PKT_COUNT_FEATURE: usize = 0;
+const BYTE_COUNT_FEATURE: usize = 1;
+
 impl StreamingWindowDetector {
-    /// Create a detector around a trained window-feature model.
+    /// Create a detector around a trained window-feature model. Gap policy
+    /// defaults to skipping windows with under 50% telemetry coverage.
     pub fn new(model: Box<dyn Classifier + Send>, cfg: WindowConfig, gate: f64) -> Self {
         StreamingWindowDetector {
             model,
@@ -40,8 +60,40 @@ impl StreamingWindowDetector {
             gate,
             current_window: None,
             buffer: Vec::new(),
+            gaps: Vec::new(),
+            min_coverage: 0.5,
             observed: 0,
+            gap_windows_skipped: 0,
         }
+    }
+
+    /// Declare a telemetry gap `[from_ns, until_ns)`: the tap was blind and
+    /// records from that span never arrived. Windows overlapping the gap
+    /// are judged on what was actually observable.
+    pub fn announce_gap(&mut self, from_ns: u64, until_ns: u64) {
+        if until_ns > from_ns {
+            self.gaps.push((from_ns, until_ns));
+        }
+    }
+
+    /// Change the minimum-coverage policy (clamped to `[0, 1]`).
+    pub fn set_min_coverage(&mut self, min_coverage: f64) {
+        self.min_coverage = min_coverage.clamp(0.0, 1.0);
+    }
+
+    /// Fraction of `window` the tap could actually see.
+    fn window_coverage(&self, window: u64) -> f64 {
+        if self.gaps.is_empty() {
+            return 1.0;
+        }
+        let start = window * self.cfg.window_ns;
+        let end = start + self.cfg.window_ns;
+        let blind: u64 = self
+            .gaps
+            .iter()
+            .map(|&(f, u)| u.min(end).saturating_sub(f.max(start)))
+            .sum();
+        1.0 - blind.min(self.cfg.window_ns) as f64 / self.cfg.window_ns as f64
     }
 
     /// Feed one record (records must arrive in time order, as a tap
@@ -72,12 +124,27 @@ impl StreamingWindowDetector {
 
     fn close_window(&mut self, window: u64) -> Vec<Detection> {
         let records = std::mem::take(&mut self.buffer);
+        let coverage = self.window_coverage(window);
+        if coverage < self.min_coverage {
+            // Mostly blind: extrapolating a rate from a sliver of signal
+            // produces confident nonsense, so the window is explicitly
+            // skipped and counted, not classified.
+            self.gap_windows_skipped += 1;
+            return Vec::new();
+        }
         let cells = aggregate(&records, self.cfg, LabelMode::BinaryAttack);
         let window_end_ns = (window + 1) * self.cfg.window_ns;
         cells
             .into_iter()
             .filter_map(|cell| {
-                let (class, confidence) = self.model.predict_with_confidence(&cell.features);
+                let mut features = cell.features;
+                if coverage < 1.0 {
+                    // De-skew count features to full-window equivalents so
+                    // a half-seen flood still looks like a flood.
+                    features[PKT_COUNT_FEATURE] /= coverage;
+                    features[BYTE_COUNT_FEATURE] /= coverage;
+                }
+                let (class, confidence) = self.model.predict_with_confidence(&features);
                 (class != 0 && confidence >= self.gate).then_some(Detection {
                     dst: cell.dst,
                     window_end_ns,
@@ -178,6 +245,61 @@ mod tests {
             loose.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
         }
         assert_eq!(loose.flush().len(), 1);
+    }
+
+    #[test]
+    fn partial_coverage_deskews_count_features() {
+        // The tap was blind for the second half of window 0. Only 8 packets
+        // were seen — below the model's 10-packet bar — but scaled to
+        // full-window equivalents (16) the half-seen flood still flags.
+        let mut d = detector(0.5);
+        d.announce_gap(500_000_000, 1_000_000_000);
+        for i in 0..8u64 {
+            d.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
+        }
+        let out = d.flush();
+        assert_eq!(out.len(), 1, "de-skewed flood not detected");
+        // Control: without the gap announcement the same records are
+        // under the bar.
+        let mut blind = detector(0.5);
+        for i in 0..8u64 {
+            blind.observe(&rec(i * 1_000, (i % 5) as u8, [10, 1, 1, 10], 1));
+        }
+        assert!(blind.flush().is_empty());
+    }
+
+    #[test]
+    fn mostly_blind_windows_are_skipped_not_classified() {
+        let mut d = detector(0.5);
+        // 80% of window 0 is blind: below the 50% coverage floor.
+        d.announce_gap(100_000_000, 900_000_000);
+        for i in 0..20u64 {
+            d.observe(&rec(i * 1_000, (i % 8) as u8, [10, 1, 1, 10], 1));
+        }
+        assert!(d.flush().is_empty());
+        assert_eq!(d.gap_windows_skipped, 1);
+        // A stricter policy can be relaxed.
+        let mut lax = detector(0.5);
+        lax.set_min_coverage(0.1);
+        lax.announce_gap(100_000_000, 900_000_000);
+        for i in 0..20u64 {
+            lax.observe(&rec(i * 1_000, (i % 8) as u8, [10, 1, 1, 10], 1));
+        }
+        assert_eq!(lax.flush().len(), 1);
+        assert_eq!(lax.gap_windows_skipped, 0);
+    }
+
+    #[test]
+    fn gaps_outside_a_window_leave_it_untouched() {
+        let mut d = detector(0.8);
+        d.announce_gap(5_000_000_000, 6_000_000_000); // window 5, far away
+        for i in 0..20u64 {
+            d.observe(&rec(i * 1_000, (i % 8) as u8, [10, 1, 1, 10], 1));
+        }
+        let out = d.flush();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packets, 20);
+        assert_eq!(d.gap_windows_skipped, 0);
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod devloop;
 pub mod controller;
 
 pub use controller::{
-    BankFilter, BankHandle, FastLoopStatsSnapshot, MitigationController,
-    MitigationControllerConfig, MitigationEvent, Placement,
+    BankFilter, BankHandle, FastLoopStatsSnapshot, InstallGiveUp, InstallPolicy,
+    MitigationController, MitigationControllerConfig, MitigationEvent, Placement,
 };
 pub use detector::{Detection, StreamingWindowDetector};
 pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};

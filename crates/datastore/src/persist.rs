@@ -27,6 +27,9 @@ pub enum PersistError {
     Format(serde_json::Error),
     /// The file is a future (or corrupt) version.
     Version { found: u32, supported: u32 },
+    /// The file parsed but its records violate store invariants. A corrupt
+    /// snapshot must come back as `Err`, never abort the process.
+    Corrupt { what: String },
 }
 
 impl std::fmt::Display for PersistError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Version { found, supported } => {
                 write!(f, "unsupported store version {found} (supported {supported})")
             }
+            PersistError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
         }
     }
 }
@@ -69,6 +73,35 @@ pub fn save<W: Write>(ds: &DataStore, mut out: W) -> Result<(), PersistError> {
     Ok(())
 }
 
+/// Reject snapshots whose records violate invariants the store (and every
+/// consumer downstream of it) relies on. The input is untrusted bytes off
+/// a disk: a bit flip must surface as `Err`, not as a panic three crates
+/// later.
+fn validate(snapshot: &Snapshot) -> Result<(), PersistError> {
+    if snapshot.version == 0 {
+        return Err(PersistError::Corrupt { what: "version 0 is never written".into() });
+    }
+    for (i, f) in snapshot.flows.iter().enumerate() {
+        if f.last_ts_ns < f.first_ts_ns {
+            return Err(PersistError::Corrupt {
+                what: format!(
+                    "flow {i} ends before it starts ({} < {})",
+                    f.last_ts_ns, f.first_ts_ns
+                ),
+            });
+        }
+        if f.total_packets() == 0 {
+            return Err(PersistError::Corrupt { what: format!("flow {i} carries no packets") });
+        }
+        if f.min_len > f.max_len {
+            return Err(PersistError::Corrupt {
+                what: format!("flow {i} min_len {} > max_len {}", f.min_len, f.max_len),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Load a store from a reader, rebuilding all indexes.
 pub fn load<R: Read>(input: R) -> Result<DataStore, PersistError> {
     let snapshot: Snapshot = serde_json::from_reader(input)?;
@@ -78,6 +111,7 @@ pub fn load<R: Read>(input: R) -> Result<DataStore, PersistError> {
             supported: FORMAT_VERSION,
         });
     }
+    validate(&snapshot)?;
     let mut ds = DataStore::new();
     ds.ingest_packets(snapshot.packets);
     ds.ingest_flows(snapshot.flows);
@@ -156,6 +190,55 @@ mod tests {
             load(&b"not json"[..]),
             Err(PersistError::Format(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_flow_records_return_err_not_abort() {
+        let mut ds = store_with(2);
+        ds.ingest_flows(vec![campuslab_capture::FlowRecord {
+            key: campuslab_capture::FlowKey {
+                src: "10.1.1.1".parse().unwrap(),
+                dst: "203.0.113.1".parse().unwrap(),
+                protocol: 17,
+                src_port: 53,
+                dst_port: 40_000,
+            },
+            first_ts_ns: 9_000,
+            last_ts_ns: 9_500,
+            fwd_packets: 3,
+            fwd_bytes: 300,
+            rev_packets: 0,
+            rev_bytes: 0,
+            syn_count: 0,
+            fin_count: 0,
+            rst_count: 0,
+            mean_iat_ns: 10,
+            min_len: 60,
+            max_len: 100,
+            label_app: 1,
+            label_attack: 0,
+        }]);
+        let mut buf = Vec::new();
+        save(&ds, &mut buf).unwrap();
+        // Flip the flow's timestamps so it ends before it starts.
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("\"first_ts_ns\":9000", "\"first_ts_ns\":9999999");
+        match load(text.as_bytes()) {
+            Err(PersistError::Corrupt { what }) => {
+                assert!(what.contains("ends before it starts"), "{what}");
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_zero_is_corrupt() {
+        let ds = store_with(1);
+        let mut buf = Vec::new();
+        save(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("\"version\":1", "\"version\":0");
+        assert!(matches!(load(text.as_bytes()), Err(PersistError::Corrupt { .. })));
     }
 
     #[test]

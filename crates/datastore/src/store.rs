@@ -150,6 +150,12 @@ impl DataStore {
 
     /// Index-accelerated packet query.
     pub fn query_packets(&self, q: &PacketQuery) -> Vec<&PacketRecord> {
+        // An inverted or empty window matches nothing; bail before the
+        // binary-search slicing below, which would otherwise compute
+        // lo > hi and panic on the slice. Queries are untrusted input.
+        if q.time_ns.as_ref().is_some_and(|r| r.start >= r.end) {
+            return Vec::new();
+        }
         let limit = q.limit.unwrap_or(usize::MAX);
         // Plan: prefer the most selective available index.
         let candidates: Option<&[u32]> = if let Some(h) = q.host.or(q.src).or(q.dst) {
@@ -346,6 +352,21 @@ mod tests {
         assert_eq!(s.packet_records, 1000);
         assert_eq!(s.sensor_records, 1);
         assert!(s.approx_bytes > 96 * 1000);
+    }
+
+    #[test]
+    fn inverted_or_empty_time_window_returns_empty_not_panic() {
+        let ds = populated();
+        // start > end (inverted) used to slice with lo > hi and abort.
+        for q in [
+            PacketQuery::in_window(500_000, 100_000),
+            PacketQuery::in_window(100_000, 100_000),
+            PacketQuery::for_host("10.1.1.7".parse().unwrap()).window(500_000, 100_000),
+            PacketQuery::default().malicious().window(u64::MAX, 0),
+        ] {
+            assert!(ds.query_packets(&q).is_empty(), "{q:?}");
+            assert!(ds.scan_packets(&q).is_empty(), "{q:?}");
+        }
     }
 
     #[test]

@@ -53,10 +53,14 @@ pub mod fxhash;
 pub mod network;
 pub mod par;
 pub mod topology;
+pub mod chaos;
 
 /// The types most users need, in one import.
 pub mod prelude {
-    pub use crate::link::{Dir, FaultModel, LinkId, Outage, QueueDiscipline};
+    pub use crate::chaos::{ChaosAction, ChaosConfig, ChaosPlan};
+    pub use crate::link::{
+        Dir, FaultModel, GilbertElliott, LinkId, Outage, QueueDiscipline, RateWindow,
+    };
     pub use crate::lpm::{LpmTable, Prefix};
     pub use crate::network::{
         Command, Commands, DropReason, NetStats, Network, NullHooks, SimHooks,

@@ -140,6 +140,82 @@ pub struct Outage {
     pub until: SimTime,
 }
 
+impl Outage {
+    /// True when `now` falls inside this window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// A window during which a link's effective rate is degraded — a
+/// "brownout" (failing optics, a duplex mismatch, an overloaded
+/// middlebox). Packets still flow, just slower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    /// Multiplier on the nominal link rate, in (0.0, 1.0].
+    pub factor: f64,
+}
+
+/// Two-state Gilbert–Elliott bursty loss: the link alternates between a
+/// good state (near-lossless) and a bad state (heavy loss), with per-packet
+/// transition probabilities. Real flapping links lose packets in bursts,
+/// which stresses detectors very differently from independent loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GilbertElliott {
+    /// P(good → bad) evaluated per packet.
+    pub p_enter_bad: f64,
+    /// P(bad → good) evaluated per packet.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Build a model starting in the good state.
+    pub fn new(p_enter_bad: f64, p_exit_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott { p_enter_bad, p_exit_bad, loss_good, loss_bad, in_bad: false }
+    }
+
+    /// Long-run fraction of time spent in the bad state.
+    pub fn bad_state_fraction(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_exit_bad;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_enter_bad / denom
+        }
+    }
+
+    /// Expected long-run loss rate.
+    pub fn mean_loss(&self) -> f64 {
+        let bad = self.bad_state_fraction();
+        bad * self.loss_bad + (1.0 - bad) * self.loss_good
+    }
+
+    /// Advance the channel state one packet and decide whether it is lost.
+    pub fn should_drop(&mut self, rng: &mut StdRng) -> bool {
+        if self.in_bad {
+            if rng.gen::<f64>() < self.p_exit_bad {
+                self.in_bad = false;
+            }
+        } else if rng.gen::<f64>() < self.p_enter_bad {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        p > 0.0 && rng.gen::<f64>() < p
+    }
+
+    /// Whether the channel is currently in its bad state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
 /// Random fault behaviour of a link.
 #[derive(Debug, Clone)]
 pub struct FaultModel {
@@ -147,18 +223,62 @@ pub struct FaultModel {
     pub drop_probability: f64,
     /// Scheduled hard outages.
     pub outages: Vec<Outage>,
+    /// Optional bursty (Gilbert–Elliott) loss channel, evaluated per offer.
+    pub burst: Option<GilbertElliott>,
+    /// Scheduled degraded-rate windows.
+    pub slowdowns: Vec<RateWindow>,
+    /// Chaos-driven hard-down toggle (flipped by `ChaosAction::LinkDown`
+    /// / `LinkUp` events riding the simulation event queue).
+    pub forced_down: bool,
+    /// Chaos-driven rate multiplier (`BrownoutStart`/`BrownoutEnd`); 1.0
+    /// means healthy.
+    pub rate_factor: f64,
 }
 
 impl Default for FaultModel {
     fn default() -> Self {
-        FaultModel { drop_probability: 0.0, outages: Vec::new() }
+        FaultModel {
+            drop_probability: 0.0,
+            outages: Vec::new(),
+            burst: None,
+            slowdowns: Vec::new(),
+            forced_down: false,
+            rate_factor: 1.0,
+        }
     }
 }
 
 impl FaultModel {
-    /// True when the link is inside a scheduled outage at `now`.
+    /// True when the link is hard-down at `now` (scheduled outage or a
+    /// chaos `LinkDown` in effect).
     pub fn is_down(&self, now: SimTime) -> bool {
-        self.outages.iter().any(|o| now >= o.from && now < o.until)
+        self.forced_down || self.outages.iter().any(|o| o.contains(now))
+    }
+
+    /// Combined drop decision for one offered packet. The drop-free fast
+    /// path pays only a handful of flag compares here.
+    fn should_drop(&mut self, now: SimTime, rng: &mut StdRng) -> bool {
+        if self.forced_down || (!self.outages.is_empty() && self.is_down(now)) {
+            return true;
+        }
+        if let Some(burst) = self.burst.as_mut() {
+            if burst.should_drop(rng) {
+                return true;
+            }
+        }
+        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+    }
+
+    /// Effective rate multiplier at `now`: the chaos factor combined with
+    /// any scheduled slowdown windows covering this instant.
+    pub fn rate_factor_at(&self, now: SimTime) -> f64 {
+        let mut f = self.rate_factor;
+        for w in &self.slowdowns {
+            if now >= w.from && now < w.until {
+                f *= w.factor;
+            }
+        }
+        f
     }
 }
 
@@ -271,9 +391,7 @@ impl Link {
     /// must schedule `tx_done` at `now + serialization` and delivery at
     /// `now + serialization + propagation`.
     pub fn offer(&mut self, dir: Dir, pkt: Box<Packet>, now: SimTime, rng: &mut StdRng) -> Offer {
-        if self.fault.is_down(now)
-            || (self.fault.drop_probability > 0.0 && rng.gen::<f64>() < self.fault.drop_probability)
-        {
+        if self.fault.should_drop(now, rng) {
             self.stats[dir.index()].dropped_fault += 1;
             return Offer::DroppedFault(pkt);
         }
@@ -302,9 +420,10 @@ impl Link {
         dir: Dir,
         now: SimTime,
     ) -> Option<(Box<Packet>, SimDuration, SimDuration)> {
+        let rate = self.effective_rate_bps(now);
         let q = &mut self.queues[dir.index()];
         let (pkt, enqueued_at) = q.dequeue()?;
-        let tx = SimDuration::transmission(pkt.wire_len(), self.rate_bps);
+        let tx = SimDuration::transmission(pkt.wire_len(), rate);
         q.busy_until = now + tx;
         let s = &mut self.stats[dir.index()];
         s.tx_packets += 1;
@@ -312,6 +431,16 @@ impl Link {
         s.busy += tx;
         s.queue_delay += now - enqueued_at;
         Some((pkt, tx, tx + self.propagation))
+    }
+
+    /// The rate the transmitter runs at right now, after brownouts. The
+    /// healthy path is a single float compare.
+    pub fn effective_rate_bps(&self, now: SimTime) -> u64 {
+        if self.fault.rate_factor >= 1.0 && self.fault.slowdowns.is_empty() {
+            return self.rate_bps;
+        }
+        let f = self.fault.rate_factor_at(now).clamp(0.0, 1.0);
+        ((self.rate_bps as f64 * f) as u64).max(1)
     }
 
     /// True when packets are waiting in `dir`.
@@ -490,6 +619,82 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        let mut l = link(1_000_000_000, 1_000_000);
+        // Sticky bad state with certain loss; near-lossless good state.
+        l.fault.burst = Some(GilbertElliott::new(0.02, 0.2, 0.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut outcomes = Vec::new();
+        for i in 0..2000u64 {
+            match l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(i), &mut rng) {
+                Offer::DroppedFault(_) => outcomes.push(true),
+                _ => {
+                    outcomes.push(false);
+                    l.start_transmit(Dir::AtoB, SimTime(i)).unwrap();
+                }
+            }
+        }
+        let losses = outcomes.iter().filter(|&&d| d).count();
+        let expected = l.fault.burst.as_ref().unwrap().mean_loss();
+        let observed = losses as f64 / outcomes.len() as f64;
+        assert!((observed - expected).abs() < 0.05, "loss rate {observed} vs {expected}");
+        // Burstiness: consecutive losses are far likelier than independent
+        // loss at the same mean would produce.
+        let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let loss_rate = observed;
+        let independent_pairs = (outcomes.len() - 1) as f64 * loss_rate * loss_rate;
+        assert!(
+            pairs as f64 > 2.0 * independent_pairs,
+            "losses not bursty: {pairs} pairs vs {independent_pairs:.1} expected if independent"
+        );
+    }
+
+    #[test]
+    fn brownout_slows_transmission() {
+        let mut l = link(1_000_000_000, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        l.fault.rate_factor = 0.1;
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
+        let (_, tx, _) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        // 1000 bytes at 100 Mbps (10% of 1 Gbps) = 80 us.
+        assert_eq!(tx, SimDuration::from_micros(80));
+        l.fault.rate_factor = 1.0;
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::from_secs(1), &mut rng);
+        let (_, tx, _) = l.start_transmit(Dir::AtoB, SimTime::from_secs(1)).unwrap();
+        assert_eq!(tx, SimDuration::from_micros(8));
+    }
+
+    #[test]
+    fn scheduled_slowdown_window_only_applies_inside() {
+        let mut l = link(1_000_000_000, 1_000_000);
+        l.fault.slowdowns.push(RateWindow {
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            factor: 0.5,
+        });
+        assert_eq!(l.effective_rate_bps(SimTime::ZERO), 1_000_000_000);
+        assert_eq!(l.effective_rate_bps(SimTime::from_secs(1)), 500_000_000);
+        assert_eq!(l.effective_rate_bps(SimTime::from_secs(2)), 1_000_000_000);
+    }
+
+    #[test]
+    fn forced_down_drops_everything_until_cleared() {
+        let mut l = link(1_000_000_000, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        l.fault.forced_down = true;
+        assert!(l.fault.is_down(SimTime::ZERO));
+        assert!(matches!(
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO, &mut rng),
+            Offer::DroppedFault(_)
+        ));
+        l.fault.forced_down = false;
+        assert_eq!(
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(1), &mut rng),
+            Offer::StartedTransmit
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! push [`Command`]s, which the loop applies after each callback — this
 //! keeps the borrow structure simple and every run deterministic.
 
+use crate::chaos::ChaosAction;
 use crate::event::EventQueue;
 use crate::link::{Dir, Link, LinkId, Offer};
 use crate::node::{FilterAction, Node, NodeId, NodeKind, PacketFilter};
@@ -26,6 +27,8 @@ pub enum DropReason {
     Ttl,
     /// No route to the destination.
     NoRoute,
+    /// The node it arrived at (or departed from) was down.
+    NodeDown,
 }
 
 /// Aggregate simulation counters.
@@ -39,6 +42,7 @@ pub struct NetStats {
     pub dropped_filter: u64,
     pub dropped_ttl: u64,
     pub dropped_no_route: u64,
+    pub dropped_node_down: u64,
     /// Sum of end-to-end latencies over delivered packets.
     pub latency_sum: SimDuration,
 }
@@ -51,6 +55,7 @@ impl NetStats {
             + self.dropped_filter
             + self.dropped_ttl
             + self.dropped_no_route
+            + self.dropped_node_down
     }
 
     /// Mean end-to-end latency of delivered packets.
@@ -149,6 +154,11 @@ enum Event {
     TxDone { link: LinkId, dir: Dir },
     Arrive { link: LinkId, dir: Dir, packet: Box<Packet> },
     Timer { token: u64 },
+    /// A chaos-plan fault transition (link flap, node crash/recover,
+    /// brownout). Riding the same queue as packet events keeps chaos runs
+    /// byte-deterministic: the transition lands at exactly one (time, seq)
+    /// slot regardless of how the run is driven.
+    Chaos { action: ChaosAction },
 }
 
 /// The simulated campus network.
@@ -224,6 +234,11 @@ impl Network {
         self.nodes.len()
     }
 
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
     /// Look up a node by name.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
         self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
@@ -246,6 +261,26 @@ impl Network {
     /// Schedule an `on_timer` callback.
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         self.queue.schedule(at, Event::Timer { token });
+    }
+
+    /// Schedule a chaos fault transition; usually called via
+    /// [`crate::chaos::ChaosPlan::apply_to`].
+    pub fn schedule_chaos(&mut self, at: SimTime, action: ChaosAction) {
+        self.queue.schedule(at, Event::Chaos { action });
+    }
+
+    /// Apply a chaos transition immediately.
+    fn apply_chaos(&mut self, action: ChaosAction) {
+        match action {
+            ChaosAction::LinkDown(l) => self.links[l.0].fault.forced_down = true,
+            ChaosAction::LinkUp(l) => self.links[l.0].fault.forced_down = false,
+            ChaosAction::NodeDown(n) => self.nodes[n.0].forced_down = true,
+            ChaosAction::NodeUp(n) => self.nodes[n.0].forced_down = false,
+            ChaosAction::BrownoutStart { link, factor } => {
+                self.links[link.0].fault.rate_factor = factor.clamp(0.0, 1.0);
+            }
+            ChaosAction::BrownoutEnd(link) => self.links[link.0].fault.rate_factor = 1.0,
+        }
     }
 
     /// Attach an ingress packet program to a node immediately.
@@ -297,6 +332,10 @@ impl Network {
                 // Injection time rides in the packet: end-to-end latency
                 // needs no side lookup table keyed by packet id.
                 packet.injected_at = now;
+                if self.nodes[node.0].is_down(now) {
+                    self.drop_node_down(now, node, &packet, hooks, cmds);
+                    return;
+                }
                 self.forward(now, node, packet, hooks, cmds);
             }
             Event::TxDone { link, dir } => {
@@ -312,7 +351,22 @@ impl Network {
                 self.receive(now, node, packet, hooks, cmds);
             }
             Event::Timer { token } => hooks.on_timer(now, token, cmds),
+            Event::Chaos { action } => self.apply_chaos(action),
         }
+    }
+
+    /// Count and report a packet swallowed by a down node.
+    fn drop_node_down(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: &Packet,
+        hooks: &mut dyn SimHooks,
+        cmds: &mut Commands,
+    ) {
+        self.nodes[node.0].stats.dropped_node_down += 1;
+        self.stats.dropped_node_down += 1;
+        hooks.on_drop(now, DropReason::NodeDown, packet, cmds);
     }
 
     /// A packet arrives at `node` from the wire.
@@ -324,6 +378,11 @@ impl Network {
         hooks: &mut dyn SimHooks,
         cmds: &mut Commands,
     ) {
+        // A down node swallows everything before its pipeline runs.
+        if self.nodes[node.0].is_down(now) {
+            self.drop_node_down(now, node, &packet, hooks, cmds);
+            return;
+        }
         // Ingress program first, exactly like a programmable ASIC.
         if let Some(filter) = self.nodes[node.0].filter.as_mut() {
             if filter.decide(now, &packet) == FilterAction::Drop {

@@ -1,6 +1,6 @@
 //! Nodes: hosts, switches and the upstream "internet" aggregation point.
 
-use crate::link::LinkId;
+use crate::link::{LinkId, Outage};
 use crate::fxhash::FxHashMap;
 use crate::lpm::LpmTable;
 use crate::packet::Packet;
@@ -60,6 +60,8 @@ pub struct NodeStats {
     pub dropped_ttl: u64,
     /// Packets dropped by the ingress filter.
     pub dropped_filter: u64,
+    /// Packets swallowed because this node was down.
+    pub dropped_node_down: u64,
 }
 
 /// A node in the simulated network.
@@ -72,6 +74,11 @@ pub struct Node {
     /// Optional ingress program (switches only, but harmless on hosts).
     pub filter: Option<Box<dyn PacketFilter>>,
     pub stats: NodeStats,
+    /// Scheduled failure windows: while one covers `now`, the node drops
+    /// every packet it would otherwise receive or originate.
+    pub down_windows: Vec<Outage>,
+    /// Chaos-driven hard-down toggle (`ChaosAction::NodeDown`/`NodeUp`).
+    pub forced_down: bool,
     /// Memoized `route()` results. The LPM table is a linear scan, and a
     /// forwarding node sees the same handful of destinations over and over;
     /// cleared whenever a route is installed.
@@ -101,6 +108,8 @@ impl Node {
             ports: Vec::new(),
             filter: None,
             stats: NodeStats::default(),
+            down_windows: Vec::new(),
+            forced_down: false,
             route_cache: FxHashMap::default(),
         }
     }
@@ -114,8 +123,17 @@ impl Node {
             ports: Vec::new(),
             filter: None,
             stats: NodeStats::default(),
+            down_windows: Vec::new(),
+            forced_down: false,
             route_cache: FxHashMap::default(),
         }
+    }
+
+    /// True when this node is failed at `now` (scheduled window or chaos
+    /// toggle). The healthy path costs one bool and one `is_empty`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        self.forced_down
+            || (!self.down_windows.is_empty() && self.down_windows.iter().any(|w| w.contains(now)))
     }
 
     /// True when `ip` is one of this host's addresses.

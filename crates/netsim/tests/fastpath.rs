@@ -56,6 +56,47 @@ fn drop_free_run_never_clones_a_packet() {
 }
 
 #[test]
+fn fault_and_chaos_drops_never_clone_a_packet() {
+    // The drop path must stay zero-copy too: a packet rejected by the
+    // fault model (outage, forced-down link, bursty loss) is handed back
+    // and freed, never snapshotted.
+    let (mut net, h1) = line_net();
+    // Every flavor of chaos loss at once on h1's uplink: hard down for
+    // the first half, certain loss after.
+    let uplink = LinkId(0);
+    net.link_mut(uplink).fault.drop_probability = 1.0;
+    net.link_mut(uplink).fault.burst =
+        Some(GilbertElliott::new(1.0, 0.0, 1.0, 1.0));
+    let mut plan = ChaosPlan::new();
+    plan.link_flap(uplink, SimTime::ZERO, SimTime::from_millis(5));
+    plan.apply_to(&mut net);
+
+    let mut b = PacketBuilder::new();
+    let before = clone_count();
+    for i in 0..200u64 {
+        let pkt = b.udp_v4(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            2000,
+            Payload::Bytes(vec![0u8; 512].into()),
+            64,
+            GroundTruth::default(),
+        );
+        net.inject(SimTime::from_micros(i * 50), h1, pkt);
+    }
+    let stats = net.run_to_completion();
+    assert_eq!(stats.injected, 200);
+    assert_eq!(stats.delivered, 0);
+    assert_eq!(stats.dropped_fault, 200);
+    assert_eq!(
+        clone_count() - before,
+        0,
+        "the fault/chaos drop path invoked Packet::clone"
+    );
+}
+
+#[test]
 fn payload_clone_is_refcounted_not_copied() {
     let payload = Payload::Bytes(vec![7u8; 1 << 20].into());
     // Cloning a megabyte payload must not copy it: Arc-backed bytes

@@ -14,6 +14,9 @@
 //!   evaluate every model everywhere (experiment E7).
 //! * [`trust`] — evidence audits: does the model cite the features an
 //!   analyst expects? (experiment E9)
+//! * [`chaos_sweep`] — robustness under chaos: sweep a fault-intensity
+//!   knob and measure how detection recall, mitigation latency and
+//!   delivery degrade (experiment E14).
 //! * [`hooks`] — hook composition for running monitor + controller
 //!   together.
 
@@ -31,7 +34,11 @@ pub mod scenario;
 pub mod roadtest;
 pub mod crosscampus;
 pub mod trust;
+pub mod chaos_sweep;
 
+pub use chaos_sweep::{
+    chaos_road_test_config, chaos_sweep, ChaosPoint, ChaosSweepConfig,
+};
 pub use crosscampus::{cross_campus, CampusSite, CrossCampusResult};
 pub use hooks::Duo;
 pub use roadtest::{

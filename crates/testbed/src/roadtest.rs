@@ -5,12 +5,14 @@
 
 use crate::scenario::{build_schedule, Scenario};
 use campuslab_control::{
-    BankFilter, FastLoopStatsSnapshot, MitigationController, MitigationControllerConfig,
-    MitigationEvent, Placement,
+    BankFilter, FastLoopStatsSnapshot, InstallGiveUp, InstallPolicy, MitigationController,
+    MitigationControllerConfig, MitigationEvent, Placement,
 };
 use campuslab_dataplane::{FieldExtractor, PipelineProgram};
 use campuslab_ml::Classifier;
-use campuslab_netsim::{Campus, NetStats, NullHooks, SimDuration, SimTime};
+use campuslab_netsim::{
+    Campus, ChaosPlan, NetStats, NullHooks, Outage, SimDuration, SimTime,
+};
 use serde::Serialize;
 use std::net::Ipv4Addr;
 
@@ -24,6 +26,13 @@ pub struct RoadTestConfig {
     /// Optional border-link outage, as (start, end) fractions of the
     /// workload duration — failure injection for resilience road tests.
     pub border_outage: Option<(f64, f64)>,
+    /// Optional chaos campaign (link flaps, node crashes, brownouts,
+    /// bursty loss) applied to the network before the run.
+    pub chaos: Option<ChaosPlan>,
+    /// Windows where the controller's tap is blind (monitor blackout).
+    pub tap_blackouts: Vec<Outage>,
+    /// Reliability of the controller→switch install channel.
+    pub install: InstallPolicy,
 }
 
 impl Default for RoadTestConfig {
@@ -34,6 +43,9 @@ impl Default for RoadTestConfig {
             window_ns: 1_000_000_000,
             min_packets: 5,
             border_outage: None,
+            chaos: None,
+            tap_blackouts: Vec::new(),
+            install: InstallPolicy::default(),
         }
     }
 }
@@ -45,6 +57,8 @@ pub struct RoadTestOutcome {
     pub filter: FastLoopStatsSnapshot,
     pub net: NetStats,
     pub mitigations: Vec<MitigationEvent>,
+    /// Detections abandoned because every install attempt flaked.
+    pub giveups: Vec<InstallGiveUp>,
     pub victim: Option<Ipv4Addr>,
     pub attack_start: Option<SimTime>,
     /// Attack start → rule active. None when nothing was installed.
@@ -59,6 +73,20 @@ impl RoadTestOutcome {
     /// Attack suppression: dropped / (dropped + passed).
     pub fn suppression(&self) -> f64 {
         self.filter.attack_recall()
+    }
+
+    /// Total install attempts spent across landed and abandoned episodes.
+    pub fn install_attempts(&self) -> u32 {
+        self.mitigations.iter().map(|m| m.attempts).sum::<u32>()
+            + self.giveups.iter().map(|g| g.attempts).sum::<u32>()
+    }
+
+    /// Fraction of injected packets that were delivered end to end.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.net.injected == 0 {
+            return 1.0;
+        }
+        self.net.delivered as f64 / self.net.injected as f64
     }
 }
 
@@ -81,12 +109,16 @@ pub fn road_test(
             until: SimTime::ZERO + SimDuration::from_secs_f64(span * until_frac),
         });
     }
+    if let Some(plan) = &cfg.chaos {
+        plan.apply_to(&mut net);
+    }
 
     let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
     let (bank, handle) = BankFilter::new(extractor);
     net.install_filter(campus.border, bank);
 
     let mut mitigations = Vec::new();
+    let mut giveups = Vec::new();
     match cfg.placement {
         Placement::Switch => {
             // Compiled rules are in the switch before the attack exists.
@@ -102,10 +134,13 @@ pub fn road_test(
                 window_ns: cfg.window_ns,
                 min_packets: cfg.min_packets,
                 program,
+                install: cfg.install.clone(),
+                tap_blackouts: cfg.tap_blackouts.clone(),
             };
             let mut controller = MitigationController::new(controller_cfg, model, handle.clone());
             net.run(&mut controller, None);
             mitigations = controller.events;
+            giveups = controller.giveups;
         }
     }
 
@@ -122,6 +157,7 @@ pub fn road_test(
         filter,
         net: net.stats,
         mitigations,
+        giveups,
         victim,
         attack_start,
         time_to_mitigation,

@@ -128,7 +128,7 @@ pub fn collect(scenario: &Scenario) -> CollectedData {
     let scheduled = schedule.len();
     let mut net = campus.net;
     schedule.apply_to(&mut net);
-    let mut hooks = BorderTapHooks::new(campus.border_link, scenario.monitor);
+    let mut hooks = BorderTapHooks::new(campus.border_link, scenario.monitor.clone());
     net.run(&mut hooks, None);
     hooks.monitor.finish();
     let ring = hooks.monitor.ring_stats();

@@ -5,3 +5,14 @@ set -eu
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# The chaos layer's determinism and windowing invariants are load-bearing
+# for every robustness claim: gate on them explicitly.
+cargo test -q -p campuslab-netsim --test chaos
+
+# E14 smoke run: the chaos sweep must complete, stay deterministic under
+# the parallel runner, and keep the calm run as an upper bound.
+out=$(cargo run -q --release -p campuslab-bench --bin e14_chaos)
+echo "$out"
+echo "$out" | grep -q "parallel runner byte-identical to sequential: yes"
+echo "$out" | grep -q "calm bounds mayhem (suppression and delivery): yes"
