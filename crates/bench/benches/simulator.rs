@@ -128,6 +128,27 @@ fn bench(c: &mut Criterion) {
         )
     });
 
+    // The same second of campus traffic with the Observatory sink gated
+    // off: the pair pins the instrumentation overhead of the event loop.
+    // CI compares the two medians and fails if enabled costs >5% over
+    // disabled — the obs fast path must stay plain u64 bumps.
+    c.bench_function("simulator/run_1s_campus_second_obs_off", |b| {
+        b.iter_batched(
+            || {
+                let campus = small_campus();
+                (campus.net, injections.clone())
+            },
+            |(mut net, injections)| {
+                net.obs.sink.set_enabled(false);
+                for inj in injections {
+                    net.inject(inj.at, inj.node, inj.packet);
+                }
+                black_box(net.run_to_completion().delivered)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
     c.bench_function("simulator/generate_1s_workload", |b| {
         b.iter_batched(
             || {

@@ -40,4 +40,14 @@ fn main() {
         f.write_all(combined.as_bytes()).expect("write report");
         eprintln!("combined report written to {path}");
     }
+    // Observatory export: every instrumented experiment's metrics dump and
+    // sim-time trace, as one JSON file (path via CAMPUSLAB_OBS_JSON).
+    let bundles: Vec<_> = reports.iter().filter_map(|r| r.obs.as_ref()).collect();
+    match campuslab_bench::obs_export::write_obs_json(&bundles) {
+        Ok(path) => eprintln!(
+            "observatory export ({} experiments) written to {path}",
+            bundles.len()
+        ),
+        Err(e) => eprintln!("observatory export failed: {e}"),
+    }
 }

@@ -1,0 +1,25 @@
+//! Regenerate the committed golden-replay files under `crates/bench/golden/`.
+//!
+//! Each file is the canonical Observatory bundle of one instrumented
+//! experiment: table, Prometheus dump, sim-time trace. The golden-replay
+//! integration test asserts current runs — sequential *and* parallel —
+//! reproduce these bytes exactly, so run this only when an intentional
+//! change moves an experiment's output, and commit the diff with it.
+//!
+//! ```sh
+//! cargo run --release -p campuslab-bench --bin gen_golden
+//! ```
+
+const GOLDEN_IDS: [&str; 3] = ["E1", "E7", "E14"];
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+    std::fs::create_dir_all(dir).expect("create golden dir");
+    for id in GOLDEN_IDS {
+        let run = campuslab_bench::observed(id).expect("golden id not in observed registry");
+        let canonical = run().canonical();
+        let path = format!("{dir}/{id}.golden");
+        std::fs::write(&path, &canonical).expect("write golden file");
+        eprintln!("{path}: {} bytes", canonical.len());
+    }
+}

@@ -9,12 +9,22 @@
 //! curve, then proves the whole sweep is byte-identical under the
 //! parallel runner.
 
+use crate::obs_export::ObsBundle;
 use crate::table::{pct, Table};
-use campuslab::testbed::{chaos_sweep, ChaosPoint, ChaosSweepConfig, Scenario};
+use campuslab::obs::Tracer;
+use campuslab::testbed::{chaos_sweep, chaos_sweep_observed, ChaosPoint, ChaosSweepConfig, Scenario};
 use campuslab::Platform;
 
 /// Run the experiment and render its report.
 pub fn run() -> String {
+    run_observed().table
+}
+
+/// Run the experiment and return the full Observatory bundle: the
+/// degradation table plus every intensity point's metrics dump and trace.
+/// The table is derived from the same registries the dump renders (that is
+/// the point of the Observatory routing), so they cannot disagree.
+pub fn run_observed() -> ObsBundle {
     let mut out = String::from("E14: robustness under chaos (graceful degradation)\n\n");
     let platform = Platform::new(Scenario::small());
     let data = platform.collect();
@@ -22,7 +32,7 @@ pub fn run() -> String {
     let model = platform.train_window_model(&data);
 
     let sweep = ChaosSweepConfig::default();
-    let points = chaos_sweep(
+    let (points, point_obs) = chaos_sweep_observed(
         &platform.scenario,
         &dev.program,
         || Box::new(model.clone()),
@@ -81,5 +91,11 @@ pub fn run() -> String {
         if deterministic { "yes" } else { "NO (bug)" },
         if monotone { "yes" } else { "NO (bug)" },
     ));
-    out
+    let mut prom = String::new();
+    let mut tracer = Tracer::new();
+    for (p, o) in points.iter().zip(&point_obs) {
+        prom.push_str(&format!("# intensity: {:.2}\n{}", p.intensity, o.prom()));
+        tracer.merge_from(&o.tracer);
+    }
+    ObsBundle { id: "E14", table: out, prom, trace: tracer.render_json() }
 }

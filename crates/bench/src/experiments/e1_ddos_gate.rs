@@ -5,8 +5,10 @@
 //! gate is a cheap safety net) and a deliberately capacity-starved tree
 //! (whose impure leaves make the gate's precision/recall trade visible).
 
+use crate::obs_export::ObsBundle;
 use crate::table::{f, pct, Table};
 use campuslab::control::Placement;
+use campuslab::obs::Tracer;
 use campuslab::control::{run_development_loop, DevLoopConfig};
 use campuslab::dataplane::CompileConfig;
 use campuslab::ml::TreeConfig;
@@ -134,6 +136,12 @@ fn sweep(
 
 /// Run the experiment and render its report.
 pub fn run() -> String {
+    run_observed().table
+}
+
+/// Run the experiment and return the full Observatory bundle: the table
+/// plus the metrics dumps and sim-time traces of both collection runs.
+pub fn run_observed() -> ObsBundle {
     let mut out = String::from(
         "E1: the confidence gate on ingress drops (DNS amplification)\n",
     );
@@ -162,5 +170,13 @@ pub fn run() -> String {
     out.push_str(
         "\nshape check: a volumetric flood is overwhelming evidence - every leaf is\nconfident and the gate costs nothing (a finding in itself). Against a\nstealthy campaign with a coarse model, leaves are impure: low gates ship\nthem (benign collateral), high gates prune them (suppression falls) - the\nprecision/recall dial the paper's >=90% rule is turning.\n",
     );
-    out
+    let prom = format!(
+        "# run: collect[volumetric]\n{}# run: collect[stealthy]\n{}",
+        data.obs.prom(),
+        stealth_data.obs.prom()
+    );
+    let mut tracer = Tracer::new();
+    tracer.merge_from(&data.obs.tracer);
+    tracer.merge_from(&stealth_data.obs.tracer);
+    ObsBundle { id: "E1", table: out, prom, trace: tracer.render_json() }
 }

@@ -2,12 +2,20 @@
 //! algorithm trained privately at three differently-shaped campuses; every
 //! resulting model evaluated on every campus's held-out data.
 
+use crate::obs_export::ObsBundle;
 use crate::table::{f, Table};
 use campuslab::control::DevLoopConfig;
-use campuslab::testbed::{cross_campus, CampusSite};
+use campuslab::obs::Tracer;
+use campuslab::testbed::{cross_campus_observed, CampusSite};
 
 /// Run the experiment and render its report.
 pub fn run() -> String {
+    run_observed().table
+}
+
+/// Run the experiment and return the full Observatory bundle: the matrix
+/// table plus each campus's private collection-run metrics dump and trace.
+pub fn run_observed() -> ObsBundle {
     let mut out = String::from("E7: cross-campus reproducibility (train row, evaluate column)\n\n");
     let sites = CampusSite::default_trio();
     for site in &sites {
@@ -19,7 +27,7 @@ pub fn run() -> String {
         ));
     }
     out.push('\n');
-    let result = cross_campus(&sites, &DevLoopConfig::default());
+    let (result, obs) = cross_campus_observed(&sites, &DevLoopConfig::default());
     let mut headers: Vec<&str> = vec!["trained at \\ evaluated at"];
     headers.extend(result.names.iter().map(String::as_str));
     headers.push("records");
@@ -41,5 +49,11 @@ pub fn run() -> String {
     out.push_str(
         "\nshape check: the structural amplification signature transfers across\ncampuses, with the best score on each campus's own data - supporting the\npaper's open-algorithms-private-data reproducibility path.\n",
     );
-    out
+    let mut prom = String::new();
+    let mut tracer = Tracer::new();
+    for (site, site_obs) in sites.iter().zip(&obs) {
+        prom.push_str(&format!("# site: {}\n{}", site.name, site_obs.prom()));
+        tracer.merge_from(&site_obs.tracer);
+    }
+    ObsBundle { id: "E7", table: out, prom, trace: tracer.render_json() }
 }

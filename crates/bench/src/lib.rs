@@ -8,6 +8,7 @@
 
 pub mod table;
 pub mod experiments;
+pub mod obs_export;
 pub mod runner;
 
 pub use experiments::{
@@ -17,8 +18,22 @@ pub use experiments::{
     fig2_loops,
 };
 
+pub use obs_export::ObsBundle;
+
 /// One registry entry: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// The Observatory-instrumented runner for an experiment id, when it has
+/// one. These run the *same* code as the plain `run()` (which delegates to
+/// them), returning the table plus the metrics dump and sim-time trace.
+pub fn observed(id: &str) -> Option<fn() -> ObsBundle> {
+    match id {
+        "E1" => Some(e1_ddos_gate::run_observed),
+        "E7" => Some(e7_cross_campus::run_observed),
+        "E14" => Some(e14_chaos::run_observed),
+        _ => None,
+    }
+}
 
 /// Every experiment, in report order.
 pub fn all() -> Vec<Experiment> {

@@ -7,6 +7,7 @@
 //! `CAMPUSLAB_JOBS` / available parallelism (see
 //! [`campuslab::netsim::par::worker_count`]).
 
+use crate::obs_export::ObsBundle;
 use campuslab::netsim::par::parallel_map;
 use std::time::Duration;
 
@@ -18,17 +19,29 @@ pub struct ExperimentReport {
     pub title: &'static str,
     /// The rendered table.
     pub body: String,
+    /// The Observatory bundle, for experiments with an instrumented
+    /// runner (see [`crate::observed`]). The body always equals
+    /// `obs.table` when present — the experiment runs once.
+    pub obs: Option<ObsBundle>,
     /// How long this experiment took on its worker.
     pub elapsed: Duration,
 }
 
 /// Regenerate every experiment in parallel, preserving registry order.
+/// Experiments with an Observatory runner execute through it (once), so
+/// the report also carries their metrics dump and trace.
 pub fn run_all() -> Vec<ExperimentReport> {
     let registry = crate::all();
     parallel_map(&registry, |_, &(id, title, runner)| {
         let started = std::time::Instant::now();
-        let body = runner();
-        ExperimentReport { id, title, body, elapsed: started.elapsed() }
+        let (body, obs) = match crate::observed(id) {
+            Some(observed_runner) => {
+                let bundle = observed_runner();
+                (bundle.table.clone(), Some(bundle))
+            }
+            None => (runner(), None),
+        };
+        ExperimentReport { id, title, body, obs, elapsed: started.elapsed() }
     })
 }
 
@@ -51,5 +64,18 @@ mod tests {
         let (id0, _, run0) = registry[0];
         let sequential = run0();
         assert_eq!(reports[0].body, sequential, "{id0} differs under parallel run");
+        // Observed experiments carry their bundle, and the body is the
+        // bundle's own table (one execution, one source).
+        for report in &reports {
+            match &report.obs {
+                Some(bundle) => {
+                    assert_eq!(bundle.id, report.id);
+                    assert_eq!(bundle.table, report.body);
+                    assert!(!bundle.prom.is_empty(), "{} dump empty", report.id);
+                    assert!(bundle.trace.starts_with('['), "{} trace not JSON", report.id);
+                }
+                None => assert!(crate::observed(report.id).is_none()),
+            }
+        }
     }
 }

@@ -1,0 +1,49 @@
+//! Golden-replay suite: the canonical Observatory bundle (table +
+//! Prometheus dump + sim-time trace) of each instrumented experiment is
+//! pinned byte-for-byte against a committed golden file, under both the
+//! sequential and the parallel runner.
+//!
+//! This is the determinism contract's enforcement point: metrics are
+//! stamped in sim-time and event sequence, never wall clock, so thread
+//! scheduling must not be able to move a single byte. If an intentional
+//! change shifts an experiment's output, regenerate with
+//! `cargo run -p campuslab-bench --bin gen_golden` and commit the diff.
+
+use std::sync::Mutex;
+
+/// `CAMPUSLAB_JOBS` is process-global, so replays take turns.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn replay(id: &str, golden: &str) {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = campuslab_bench::observed(id).expect("id not in observed registry");
+    std::env::set_var("CAMPUSLAB_JOBS", "1");
+    let sequential = run().canonical();
+    std::env::set_var("CAMPUSLAB_JOBS", "4");
+    let parallel = run().canonical();
+    std::env::remove_var("CAMPUSLAB_JOBS");
+    assert_eq!(
+        sequential, parallel,
+        "{id}: sequential and parallel runners produced different bytes"
+    );
+    assert_eq!(
+        sequential, golden,
+        "{id}: output drifted from the committed golden file \
+         (if intentional: cargo run -p campuslab-bench --bin gen_golden)"
+    );
+}
+
+#[test]
+fn e1_confidence_gate_replays_byte_for_byte() {
+    replay("E1", include_str!("../golden/E1.golden"));
+}
+
+#[test]
+fn e7_cross_campus_replays_byte_for_byte() {
+    replay("E7", include_str!("../golden/E7.golden"));
+}
+
+#[test]
+fn e14_chaos_sweep_replays_byte_for_byte() {
+    replay("E14", include_str!("../golden/E14.golden"));
+}

@@ -46,11 +46,13 @@ pub mod meta;
 pub mod sensors;
 pub mod sketch;
 pub mod monitor;
+pub mod observe;
 
 pub use flow::{FlowTable, FlowTableConfig, FlowTableStats};
 pub use campuslab_netsim::fxhash::{self, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use meta::{service_tag, DnsExtractor, ServiceTag, TcpRttEstimator};
 pub use monitor::{BorderTapHooks, Monitor, MonitorConfig, MonitorStats};
+pub use observe::CaptureObs;
 pub use pcap::{PcapPacket, PcapReader, PcapWriter};
 pub use records::{
     Direction, DnsMetaRecord, FlowKey, FlowRecord, PacketRecord, SensorRecord, TcpFlags,

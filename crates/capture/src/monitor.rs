@@ -4,6 +4,7 @@
 
 use crate::flow::{FlowTable, FlowTableConfig};
 use crate::meta::{DnsExtractor, TcpRttEstimator};
+use crate::observe::CaptureObs;
 use crate::pcap::PcapWriter;
 use crate::records::{Direction, DnsMetaRecord, FlowRecord, PacketRecord, TcpRttRecord};
 use crate::ring::{CaptureArray, RingConfig, RingStats};
@@ -78,6 +79,8 @@ pub struct Monitor {
     last_poll_ns: u64,
     sample_seq: u64,
     pub stats: MonitorStats,
+    /// Observatory sink mirroring `stats`, renderable as a metrics dump.
+    pub obs: CaptureObs,
 }
 
 impl Monitor {
@@ -101,6 +104,7 @@ impl Monitor {
             sample_seq: 0,
             cfg,
             stats: MonitorStats::default(),
+            obs: CaptureObs::new(),
         }
     }
 
@@ -112,8 +116,10 @@ impl Monitor {
     /// Observe one packet on the tapped wire.
     pub fn observe(&mut self, now: SimTime, direction: Direction, pkt: &Packet) {
         self.stats.observed += 1;
+        self.obs.on_observed();
         if self.in_blackout(now) {
             self.stats.blackout_dropped += 1;
+            self.obs.on_blackout_dropped();
             return;
         }
         if self.cfg.sample_keep_1_in > 1 {
@@ -121,6 +127,7 @@ impl Monitor {
             self.sample_seq += 1;
             if !seq.is_multiple_of(self.cfg.sample_keep_1_in) {
                 self.stats.sampled_out += 1;
+                self.obs.on_sampled_out();
                 return;
             }
         }
@@ -129,10 +136,12 @@ impl Monitor {
         // is lost to monitoring entirely.
         if !self.rings.offer(now, &record.flow_key()) {
             self.stats.ring_dropped += 1;
+            self.obs.on_ring_dropped();
             return;
         }
         self.stats.captured += 1;
         self.stats.bytes_captured += u64::from(record.wire_len);
+        self.obs.on_captured(u64::from(record.wire_len));
         if let Some(w) = self.pcap.as_mut() {
             w.write_packet(now.as_nanos(), &pkt.to_bytes())
                 .expect("vec write cannot fail");
@@ -411,6 +420,45 @@ mod tests {
         assert_eq!(s.observed, s.captured + s.telemetry_lost());
         // Counter sampling keeps exactly ceil(observed / 4).
         assert_eq!(s.captured, s.observed.div_ceil(4));
+    }
+
+    /// The Observatory mirrors MonitorStats bump-for-bump.
+    #[test]
+    fn obs_counters_agree_with_monitor_stats() {
+        let campus = small_campus();
+        let mut gen = TrafficGenerator::new(
+            &campus,
+            WorkloadConfig {
+                duration: SimDuration::from_secs(2),
+                sessions_per_sec: 10.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut schedule = gen.generate();
+        let mut net = campus.net;
+        schedule.apply_to(&mut net);
+        let mut hooks = BorderTapHooks::new(
+            campus.border_link,
+            MonitorConfig {
+                sample_keep_1_in: 3,
+                blackouts: vec![Outage {
+                    from: SimTime::from_millis(400),
+                    until: SimTime::from_millis(900),
+                }],
+                ..MonitorConfig::default()
+            },
+        );
+        net.run(&mut hooks, None);
+        let s = hooks.monitor.stats;
+        let obs = &hooks.monitor.obs;
+        assert_eq!(obs.observed(), s.observed);
+        assert_eq!(obs.captured(), s.captured);
+        assert_eq!(obs.ring_dropped(), s.ring_dropped);
+        assert_eq!(obs.blackout_dropped(), s.blackout_dropped);
+        assert_eq!(obs.sampled_out(), s.sampled_out);
+        assert_eq!(obs.bytes_captured(), s.bytes_captured);
+        assert!(obs.conserved(), "conservation law broken: {s:?}");
+        assert!(s.blackout_dropped > 0 && s.sampled_out > 0, "test exercised no loss paths");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Observatory schema for the capture plane: one [`CaptureObs`] per
+//! [`crate::monitor::Monitor`], bumped at the same sites as
+//! [`crate::monitor::MonitorStats`] so the renderable export surface and
+//! the programmatic one can never disagree.
+//!
+//! The counters encode the tap conservation law
+//! `observed == captured + ring_dropped + blackout_dropped + sampled_out`,
+//! which [`CaptureObs::conserved`] checks straight off the sink.
+
+use campuslab_obs::{CounterId, ObsSink, Registry};
+
+/// Metrics registry + sink for one capture monitor.
+#[derive(Debug, Clone)]
+pub struct CaptureObs {
+    registry: Registry,
+    /// Value store; bumped by the monitor, read back through typed ids.
+    pub sink: ObsSink,
+    observed: CounterId,
+    captured: CounterId,
+    ring_dropped: CounterId,
+    blackout_dropped: CounterId,
+    sampled_out: CounterId,
+    bytes_captured: CounterId,
+}
+
+impl Default for CaptureObs {
+    fn default() -> Self {
+        CaptureObs::new()
+    }
+}
+
+impl CaptureObs {
+    /// Build the capture schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let observed =
+            reg.counter("cap_observed_packets_total", "packets that crossed the tapped wire");
+        let captured =
+            reg.counter("cap_captured_packets_total", "packets admitted into capture rings");
+        let lost = "packets lost to monitoring, by cause";
+        let ring_dropped =
+            reg.counter_with_label("cap_lost_packets_total", Some("cause=\"ring\""), lost);
+        let blackout_dropped =
+            reg.counter_with_label("cap_lost_packets_total", Some("cause=\"blackout\""), lost);
+        let sampled_out =
+            reg.counter_with_label("cap_lost_packets_total", Some("cause=\"sampled\""), lost);
+        let bytes_captured =
+            reg.counter("cap_captured_bytes_total", "wire bytes of captured packets");
+        let sink = reg.sink();
+        CaptureObs {
+            registry: reg,
+            sink,
+            observed,
+            captured,
+            ring_dropped,
+            blackout_dropped,
+            sampled_out,
+            bytes_captured,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_observed(&mut self) {
+        self.sink.inc(self.observed);
+    }
+
+    #[inline]
+    pub(crate) fn on_captured(&mut self, wire_bytes: u64) {
+        self.sink.inc(self.captured);
+        self.sink.add(self.bytes_captured, wire_bytes);
+    }
+
+    #[inline]
+    pub(crate) fn on_ring_dropped(&mut self) {
+        self.sink.inc(self.ring_dropped);
+    }
+
+    #[inline]
+    pub(crate) fn on_blackout_dropped(&mut self) {
+        self.sink.inc(self.blackout_dropped);
+    }
+
+    #[inline]
+    pub(crate) fn on_sampled_out(&mut self) {
+        self.sink.inc(self.sampled_out);
+    }
+
+    /// Packets that crossed the tapped wire.
+    pub fn observed(&self) -> u64 {
+        self.sink.counter(self.observed)
+    }
+
+    /// Packets admitted into the rings.
+    pub fn captured(&self) -> u64 {
+        self.sink.counter(self.captured)
+    }
+
+    /// Packets the rings could not keep up with.
+    pub fn ring_dropped(&self) -> u64 {
+        self.sink.counter(self.ring_dropped)
+    }
+
+    /// Packets that passed during a tap blackout.
+    pub fn blackout_dropped(&self) -> u64 {
+        self.sink.counter(self.blackout_dropped)
+    }
+
+    /// Packets discarded by the sampling stage.
+    pub fn sampled_out(&self) -> u64 {
+        self.sink.counter(self.sampled_out)
+    }
+
+    /// Wire bytes of captured packets.
+    pub fn bytes_captured(&self) -> u64 {
+        self.sink.counter(self.bytes_captured)
+    }
+
+    /// The tap conservation law, checked straight off the sink.
+    pub fn conserved(&self) -> bool {
+        self.observed()
+            == self.captured() + self.ring_dropped() + self.blackout_dropped() + self.sampled_out()
+    }
+
+    /// Render this monitor's metrics as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_by_construction() {
+        let mut obs = CaptureObs::new();
+        for _ in 0..10 {
+            obs.on_observed();
+        }
+        obs.on_captured(100);
+        obs.on_captured(200);
+        obs.on_ring_dropped();
+        obs.on_blackout_dropped();
+        for _ in 0..6 {
+            obs.on_sampled_out();
+        }
+        assert!(obs.conserved());
+        assert_eq!(obs.bytes_captured(), 300);
+        let text = obs.render();
+        assert!(text.contains("cap_observed_packets_total 10"));
+        assert!(text.contains("cap_lost_packets_total{cause=\"sampled\"} 6"));
+    }
+}

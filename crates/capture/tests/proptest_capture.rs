@@ -2,10 +2,12 @@
 //! over arbitrary packet streams.
 
 use campuslab_capture::{
-    Direction, FlowTable, FlowTableConfig, HeavyHitters, PacketRecord, TcpFlags,
+    Direction, FlowTable, FlowTableConfig, HeavyHitters, Monitor, MonitorConfig, PacketRecord,
+    RingConfig, TcpFlags,
 };
+use campuslab_netsim::{GroundTruth, Outage, PacketBuilder, Payload, SimTime};
 use proptest::prelude::*;
-use std::net::IpAddr;
+use std::net::{IpAddr, Ipv4Addr};
 
 fn arb_record() -> impl Strategy<Value = PacketRecord> {
     (
@@ -67,6 +69,77 @@ proptest! {
         let k = r.flow_key();
         prop_assert_eq!(k.canonical(), k.reversed().canonical());
         prop_assert_eq!(k.reversed().reversed(), k);
+    }
+
+    /// The capture conservation identity holds for any chaos campaign the
+    /// monitor can be configured with: every observed packet is accounted
+    /// for exactly once as captured, ring-dropped, blackout-dropped or
+    /// sampled out — and the Observatory mirror agrees bump-for-bump.
+    #[test]
+    fn monitor_conserves_under_random_chaos(
+        // Starved rings (tiny capacity, slow drain) force ring drops.
+        ring_capacity in 1usize..48,
+        drain_pps in 1_000.0f64..5_000_000.0,
+        rings in 1usize..4,
+        sample_keep_1_in in 0u64..6,
+        blackout_from_ms in 0u64..1_500,
+        blackout_len_ms in 0u64..1_500,
+        stream in proptest::collection::vec(
+            (0u64..2_000u64, any::<bool>(), 0u8..6, 0u8..6, 1024u16..1040, 16usize..1200),
+            1..250,
+        ),
+    ) {
+        let blackouts = if blackout_len_ms == 0 {
+            Vec::new()
+        } else {
+            vec![Outage {
+                from: SimTime::from_millis(blackout_from_ms),
+                until: SimTime::from_millis(blackout_from_ms + blackout_len_ms),
+            }]
+        };
+        let mut monitor = Monitor::new(MonitorConfig {
+            ring: RingConfig { capacity: ring_capacity, drain_pps },
+            rings,
+            blackouts,
+            sample_keep_1_in,
+            ..MonitorConfig::default()
+        });
+        let mut builder = PacketBuilder::new();
+        let mut stream = stream;
+        stream.sort_by_key(|&(ts_ms, ..)| ts_ms);
+        for &(ts_ms, inbound, s, d, sport, payload_len) in &stream {
+            let pkt = builder.udp_v4(
+                Ipv4Addr::new(203, 0, 113, s),
+                Ipv4Addr::new(10, 1, 1, d),
+                sport,
+                443,
+                Payload::Synthetic(payload_len),
+                64,
+                GroundTruth::default(),
+            );
+            let dir = if inbound { Direction::Inbound } else { Direction::Outbound };
+            monitor.observe(SimTime::from_millis(ts_ms), dir, &pkt);
+        }
+        monitor.finish();
+        let s = monitor.stats;
+        // The conservation identity, on the legacy stats…
+        prop_assert_eq!(s.observed, stream.len() as u64);
+        prop_assert_eq!(
+            s.observed,
+            s.captured + s.ring_dropped + s.blackout_dropped + s.sampled_out,
+            "conservation broken: {:?}", s
+        );
+        // …on the Observatory registry…
+        prop_assert!(monitor.obs.conserved(), "obs conservation broken: {:?}", s);
+        // …and the two planes agree counter-for-counter.
+        prop_assert_eq!(monitor.obs.observed(), s.observed);
+        prop_assert_eq!(monitor.obs.captured(), s.captured);
+        prop_assert_eq!(monitor.obs.ring_dropped(), s.ring_dropped);
+        prop_assert_eq!(monitor.obs.blackout_dropped(), s.blackout_dropped);
+        prop_assert_eq!(monitor.obs.sampled_out(), s.sampled_out);
+        prop_assert_eq!(monitor.obs.bytes_captured(), s.bytes_captured);
+        // Everything the monitor kept is really in the packet store.
+        prop_assert_eq!(monitor.packet_records().len() as u64, s.captured);
     }
 
     /// Heavy-hitter estimates dominate true counts (sketches never

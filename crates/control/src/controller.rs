@@ -7,6 +7,8 @@
 
 use crate::detector::{Detection, StreamingWindowDetector};
 use crate::fastloop::FastLoopStats;
+use crate::observe::{ControllerObs, DetectorObs};
+use campuslab_obs::OpenSpan;
 use campuslab_capture::{Direction, PacketRecord};
 use campuslab_dataplane::{Action, FieldExtractor, PipelineProgram, PipelineRuntime};
 use campuslab_netsim::{
@@ -278,6 +280,8 @@ struct PendingInstall {
     det: Detection,
     attempts: u32,
     first_attempt: SimTime,
+    /// The episode's open trace span; closed at install or give-up.
+    span: OpenSpan,
 }
 
 /// The controller: an implementation of `SimHooks` that closes the loop
@@ -293,6 +297,9 @@ pub struct MitigationController {
     pub events: Vec<MitigationEvent>,
     /// Detections abandoned after the retry budget/timeout ran out.
     pub giveups: Vec<InstallGiveUp>,
+    /// Observatory sink + episode spans (attempts, flakes, installs,
+    /// give-ups, time-to-mitigation).
+    pub obs: ControllerObs,
 }
 
 impl MitigationController {
@@ -329,7 +336,20 @@ impl MitigationController {
             install_rng,
             events: Vec::new(),
             giveups: Vec::new(),
+            obs: ControllerObs::new(),
         }
+    }
+
+    /// The wrapped detector's Observatory sink.
+    pub fn detector_obs(&self) -> &DetectorObs {
+        &self.detector.obs
+    }
+
+    /// Move both Observatory bundles (controller + wrapped detector) out of
+    /// a finished controller, leaving zeroed replacements behind. Used by
+    /// the testbed to carry run telemetry past the controller's lifetime.
+    pub fn take_obs(&mut self) -> (ControllerObs, DetectorObs) {
+        (std::mem::take(&mut self.obs), std::mem::take(&mut self.detector.obs))
     }
 
     fn handle_detections(&mut self, now: SimTime, detections: Vec<Detection>, cmds: &mut Commands) {
@@ -343,7 +363,9 @@ impl MitigationController {
             let token = Self::TOKEN_BASE + self.next_token;
             self.next_token += 1;
             let at = now + self.cfg.placement.install_delay();
-            self.pending.insert(token, PendingInstall { det, attempts: 0, first_attempt: at });
+            let span = self.obs.on_episode_start(&det.dst.to_string(), now.as_nanos());
+            self.pending
+                .insert(token, PendingInstall { det, attempts: 0, first_attempt: at, span });
             cmds.set_timer(at, token);
         }
     }
@@ -372,8 +394,10 @@ impl campuslab_netsim::SimHooks for MitigationController {
         let policy = &self.cfg.install;
         let flaked = policy.failure_probability > 0.0
             && rand::Rng::gen::<f64>(&mut self.install_rng) < policy.failure_probability;
+        self.obs.on_attempt(flaked);
         if !flaked {
             self.bank.add_program(Some(p.det.dst), self.cfg.program.clone());
+            self.obs.on_installed(p.span, p.det.window_end_ns, now.as_nanos());
             self.events.push(MitigationEvent {
                 victim: p.det.dst,
                 detected_at: SimTime(p.det.window_end_ns),
@@ -389,6 +413,7 @@ impl campuslab_netsim::SimHooks for MitigationController {
         let deadline = p.first_attempt + policy.timeout;
         let backoff = policy.backoff_after(p.attempts);
         if p.attempts >= policy.max_attempts || now + backoff > deadline {
+            self.obs.on_giveup(p.span, now.as_nanos());
             self.giveups.push(InstallGiveUp {
                 victim: p.det.dst,
                 detected_at: SimTime(p.det.window_end_ns),

@@ -2,6 +2,7 @@
 //! loop. Buffers one tumbling window of tap records, classifies each
 //! per-destination cell when the window closes, and emits detections.
 
+use crate::observe::DetectorObs;
 use campuslab_capture::PacketRecord;
 use campuslab_features::{aggregate, LabelMode, WindowConfig};
 use campuslab_ml::Classifier;
@@ -42,6 +43,8 @@ pub struct StreamingWindowDetector {
     pub observed: u64,
     /// Windows skipped because telemetry coverage fell below the policy.
     pub gap_windows_skipped: u64,
+    /// Observatory sink: window/coverage/detection telemetry.
+    pub obs: DetectorObs,
 }
 
 /// Positions of the count-rate features in the window feature vector
@@ -64,6 +67,7 @@ impl StreamingWindowDetector {
             min_coverage: 0.5,
             observed: 0,
             gap_windows_skipped: 0,
+            obs: DetectorObs::new(),
         }
     }
 
@@ -100,6 +104,7 @@ impl StreamingWindowDetector {
     /// produces them). Returns detections for any window that just closed.
     pub fn observe(&mut self, rec: &PacketRecord) -> Vec<Detection> {
         self.observed += 1;
+        self.obs.on_observed();
         let w = rec.ts_ns / self.cfg.window_ns;
         let mut out = Vec::new();
         match self.current_window {
@@ -130,11 +135,12 @@ impl StreamingWindowDetector {
             // produces confident nonsense, so the window is explicitly
             // skipped and counted, not classified.
             self.gap_windows_skipped += 1;
+            self.obs.on_window_closed(coverage, true, 0);
             return Vec::new();
         }
         let cells = aggregate(&records, self.cfg, LabelMode::BinaryAttack);
         let window_end_ns = (window + 1) * self.cfg.window_ns;
-        cells
+        let out: Vec<Detection> = cells
             .into_iter()
             .filter_map(|cell| {
                 let mut features = cell.features;
@@ -153,7 +159,9 @@ impl StreamingWindowDetector {
                     packets: cell.packets,
                 })
             })
-            .collect()
+            .collect();
+        self.obs.on_window_closed(coverage, false, out.len() as u64);
+        out
     }
 }
 

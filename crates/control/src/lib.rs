@@ -26,6 +26,7 @@ pub mod fastloop;
 pub mod detector;
 pub mod devloop;
 pub mod controller;
+pub mod observe;
 
 pub use controller::{
     BankFilter, BankHandle, FastLoopStatsSnapshot, InstallGiveUp, InstallPolicy,
@@ -34,3 +35,4 @@ pub use controller::{
 pub use detector::{Detection, StreamingWindowDetector};
 pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};
 pub use fastloop::{DeployedFilter, FastLoopStats};
+pub use observe::{ControllerObs, DetectorObs};

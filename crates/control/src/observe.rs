@@ -1,0 +1,283 @@
+//! Observatory schemas for the control plane: window-detector telemetry
+//! ([`DetectorObs`]) and mitigation-controller telemetry
+//! ([`ControllerObs`], including per-episode spans traced in sim-time).
+
+use campuslab_obs::{CounterId, Histogram, HistogramId, ObsSink, OpenSpan, Registry, Tracer};
+
+/// Window-coverage histogram bounds, percent observed (≤10% .. ≤99%, +Inf
+/// catches fully covered windows).
+pub const COVERAGE_BOUNDS: [u64; 6] = [10, 25, 50, 75, 90, 99];
+
+/// Time-to-mitigation histogram bounds, milliseconds.
+pub const TTM_BOUNDS: [u64; 7] = [1, 5, 10, 50, 150, 500, 1_000];
+
+/// Metrics for one [`crate::detector::StreamingWindowDetector`].
+#[derive(Debug, Clone)]
+pub struct DetectorObs {
+    registry: Registry,
+    /// Value store; bumped by the detector, read back through typed ids.
+    pub sink: ObsSink,
+    observed: CounterId,
+    windows_closed: CounterId,
+    windows_skipped: CounterId,
+    detections: CounterId,
+    coverage_pct: HistogramId,
+}
+
+impl Default for DetectorObs {
+    fn default() -> Self {
+        DetectorObs::new()
+    }
+}
+
+impl DetectorObs {
+    /// Build the detector schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let observed = reg.counter("det_observed_records_total", "tap records fed to the detector");
+        let windows_closed =
+            reg.counter("det_windows_closed_total", "tumbling windows closed and considered");
+        let windows_skipped = reg.counter(
+            "det_windows_skipped_total",
+            "windows skipped because telemetry coverage fell below policy",
+        );
+        let detections = reg.counter("det_detections_total", "detections emitted past the gate");
+        let coverage_pct = reg.histogram(
+            "det_window_coverage_pct",
+            "per-closed-window telemetry coverage, percent",
+            &COVERAGE_BOUNDS,
+        );
+        let sink = reg.sink();
+        DetectorObs {
+            registry: reg,
+            sink,
+            observed,
+            windows_closed,
+            windows_skipped,
+            detections,
+            coverage_pct,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_observed(&mut self) {
+        self.sink.inc(self.observed);
+    }
+
+    #[inline]
+    pub(crate) fn on_window_closed(&mut self, coverage: f64, skipped: bool, detections: u64) {
+        self.sink.inc(self.windows_closed);
+        self.sink.observe(self.coverage_pct, (coverage.clamp(0.0, 1.0) * 100.0) as u64);
+        if skipped {
+            self.sink.inc(self.windows_skipped);
+        } else {
+            self.sink.add(self.detections, detections);
+        }
+    }
+
+    /// Records fed in.
+    pub fn observed(&self) -> u64 {
+        self.sink.counter(self.observed)
+    }
+
+    /// Windows closed (skipped ones included).
+    pub fn windows_closed(&self) -> u64 {
+        self.sink.counter(self.windows_closed)
+    }
+
+    /// Windows skipped under the coverage policy.
+    pub fn windows_skipped(&self) -> u64 {
+        self.sink.counter(self.windows_skipped)
+    }
+
+    /// Detections emitted.
+    pub fn detections(&self) -> u64 {
+        self.sink.counter(self.detections)
+    }
+
+    /// The per-window coverage histogram (percent).
+    pub fn coverage_histogram(&self) -> &Histogram {
+        self.sink.histogram(self.coverage_pct)
+    }
+
+    /// Render as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// Metrics + per-episode spans for one
+/// [`crate::controller::MitigationController`].
+#[derive(Debug, Clone)]
+pub struct ControllerObs {
+    registry: Registry,
+    /// Value store; bumped by the controller, read back through typed ids.
+    pub sink: ObsSink,
+    /// Per-episode spans (`mitigate[victim]`), sim-time stamped: opened
+    /// when a detection is accepted, closed at install or give-up.
+    pub tracer: Tracer,
+    episodes: CounterId,
+    attempts: CounterId,
+    flakes: CounterId,
+    installs: CounterId,
+    giveups: CounterId,
+    ttm_ms: HistogramId,
+}
+
+impl Default for ControllerObs {
+    fn default() -> Self {
+        ControllerObs::new()
+    }
+}
+
+impl ControllerObs {
+    /// Build the controller schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let episodes =
+            reg.counter("ctl_episodes_total", "detection-to-mitigation episodes started");
+        let attempts =
+            reg.counter("ctl_install_attempts_total", "rule-install attempts sent to the switch");
+        let flakes = reg.counter("ctl_install_flakes_total", "install attempts that flaked");
+        let installs = reg.counter("ctl_installs_total", "rules that landed in the filter bank");
+        let giveups =
+            reg.counter("ctl_giveups_total", "episodes abandoned after retry budget/timeout");
+        let ttm_ms = reg.histogram(
+            "ctl_time_to_mitigation_ms",
+            "detection window end to rule active, milliseconds",
+            &TTM_BOUNDS,
+        );
+        let sink = reg.sink();
+        ControllerObs {
+            registry: reg,
+            sink,
+            tracer: Tracer::new(),
+            episodes,
+            attempts,
+            flakes,
+            installs,
+            giveups,
+            ttm_ms,
+        }
+    }
+
+    /// A detection was accepted; opens the episode span.
+    #[inline]
+    pub(crate) fn on_episode_start(&mut self, victim: &str, now_ns: u64) -> OpenSpan {
+        self.sink.inc(self.episodes);
+        self.tracer.open(format!("mitigate[{victim}]"), now_ns)
+    }
+
+    #[inline]
+    pub(crate) fn on_attempt(&mut self, flaked: bool) {
+        self.sink.inc(self.attempts);
+        if flaked {
+            self.sink.inc(self.flakes);
+        }
+    }
+
+    /// The rule landed; closes the episode span and records TTM.
+    #[inline]
+    pub(crate) fn on_installed(&mut self, span: OpenSpan, detected_ns: u64, installed_ns: u64) {
+        self.sink.inc(self.installs);
+        self.sink
+            .observe(self.ttm_ms, installed_ns.saturating_sub(detected_ns) / 1_000_000);
+        self.tracer.close(span, installed_ns);
+    }
+
+    /// The episode was abandoned; closes the span without a TTM sample.
+    #[inline]
+    pub(crate) fn on_giveup(&mut self, span: OpenSpan, gave_up_ns: u64) {
+        self.sink.inc(self.giveups);
+        self.tracer.close(span, gave_up_ns);
+    }
+
+    /// Episodes started.
+    pub fn episodes(&self) -> u64 {
+        self.sink.counter(self.episodes)
+    }
+
+    /// Install attempts sent.
+    pub fn attempts(&self) -> u64 {
+        self.sink.counter(self.attempts)
+    }
+
+    /// Attempts that flaked.
+    pub fn flakes(&self) -> u64 {
+        self.sink.counter(self.flakes)
+    }
+
+    /// Rules that landed.
+    pub fn installs(&self) -> u64 {
+        self.sink.counter(self.installs)
+    }
+
+    /// Episodes abandoned.
+    pub fn giveups(&self) -> u64 {
+        self.sink.counter(self.giveups)
+    }
+
+    /// The time-to-mitigation histogram (milliseconds).
+    pub fn ttm_histogram(&self) -> &Histogram {
+        self.sink.histogram(self.ttm_ms)
+    }
+
+    /// Render as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_lifecycle_is_traced_and_counted() {
+        let mut obs = ControllerObs::new();
+        let span = obs.on_episode_start("10.1.1.10", 1_000_000_000);
+        obs.on_attempt(true);
+        obs.on_attempt(false);
+        obs.on_installed(span, 1_000_000_000, 1_010_000_000);
+        let span2 = obs.on_episode_start("10.1.2.2", 2_000_000_000);
+        obs.on_attempt(true);
+        obs.on_giveup(span2, 2_500_000_000);
+        assert_eq!(obs.episodes(), 2);
+        assert_eq!(obs.attempts(), 3);
+        assert_eq!(obs.flakes(), 2);
+        assert_eq!(obs.installs(), 1);
+        assert_eq!(obs.giveups(), 1);
+        assert_eq!(obs.ttm_histogram().count(), 1);
+        assert_eq!(obs.ttm_histogram().sum(), 10);
+        let spans = obs.tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "mitigate[10.1.1.10]");
+        assert_eq!(spans[0].end_ns, 1_010_000_000);
+        assert_eq!(spans[1].end_ns, 2_500_000_000);
+    }
+
+    #[test]
+    fn detector_window_accounting() {
+        let mut obs = DetectorObs::new();
+        obs.on_observed();
+        obs.on_window_closed(1.0, false, 2);
+        obs.on_window_closed(0.3, true, 0);
+        assert_eq!(obs.windows_closed(), 2);
+        assert_eq!(obs.windows_skipped(), 1);
+        assert_eq!(obs.detections(), 2);
+        let cov = obs.coverage_histogram();
+        assert_eq!(cov.count(), 2);
+        assert_eq!(cov.sum(), 130);
+        assert!(obs.render().contains("det_window_coverage_pct_bucket{le=\"50\"} 1"));
+    }
+}

@@ -51,6 +51,7 @@ pub use campuslab_datastore as datastore;
 pub use campuslab_features as features;
 pub use campuslab_ml as ml;
 pub use campuslab_netsim as netsim;
+pub use campuslab_obs as obs;
 pub use campuslab_privacy as privacy;
 pub use campuslab_testbed as testbed;
 pub use campuslab_traffic as traffic;

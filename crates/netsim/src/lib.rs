@@ -51,6 +51,7 @@ pub mod link;
 pub mod node;
 pub mod fxhash;
 pub mod network;
+pub mod observe;
 pub mod par;
 pub mod topology;
 pub mod chaos;
@@ -66,6 +67,7 @@ pub mod prelude {
         Command, Commands, DropReason, NetStats, Network, NullHooks, SimHooks,
     };
     pub use crate::node::{FilterAction, NodeId, PacketFilter};
+    pub use crate::observe::NetObs;
     pub use crate::packet::{
         GroundTruth, NetworkHeader, Packet, PacketBuilder, Payload, TransportHeader,
     };

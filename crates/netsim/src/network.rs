@@ -9,6 +9,7 @@ use crate::chaos::ChaosAction;
 use crate::event::EventQueue;
 use crate::link::{Dir, Link, LinkId, Offer};
 use crate::node::{FilterAction, Node, NodeId, NodeKind, PacketFilter};
+use crate::observe::NetObs;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -169,6 +170,9 @@ pub struct Network {
     tapped: Vec<bool>,
     rng: StdRng,
     pub stats: NetStats,
+    /// Observatory sink: the same counters as `stats` plus histograms and
+    /// chaos/event telemetry, renderable as a deterministic metrics dump.
+    pub obs: NetObs,
 }
 
 impl Network {
@@ -182,6 +186,7 @@ impl Network {
             tapped: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
+            obs: NetObs::new(),
         }
     }
 
@@ -271,6 +276,7 @@ impl Network {
 
     /// Apply a chaos transition immediately.
     fn apply_chaos(&mut self, action: ChaosAction) {
+        self.obs.on_chaos(&action);
         match action {
             ChaosAction::LinkDown(l) => self.links[l.0].fault.forced_down = true,
             ChaosAction::LinkUp(l) => self.links[l.0].fault.forced_down = false,
@@ -326,9 +332,11 @@ impl Network {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event, hooks: &mut dyn SimHooks, cmds: &mut Commands) {
+        self.obs.on_event();
         match event {
             Event::Inject { node, mut packet } => {
                 self.stats.injected += 1;
+                self.obs.on_inject();
                 // Injection time rides in the packet: end-to-end latency
                 // needs no side lookup table keyed by packet id.
                 packet.injected_at = now;
@@ -366,6 +374,7 @@ impl Network {
     ) {
         self.nodes[node.0].stats.dropped_node_down += 1;
         self.stats.dropped_node_down += 1;
+        self.obs.on_drop(DropReason::NodeDown);
         hooks.on_drop(now, DropReason::NodeDown, packet, cmds);
     }
 
@@ -388,6 +397,7 @@ impl Network {
             if filter.decide(now, &packet) == FilterAction::Drop {
                 self.nodes[node.0].stats.dropped_filter += 1;
                 self.stats.dropped_filter += 1;
+                self.obs.on_drop(DropReason::Filter);
                 hooks.on_drop(now, DropReason::Filter, &packet, cmds);
                 return;
             }
@@ -404,10 +414,12 @@ impl Network {
                     self.stats.delivered_bytes += packet.wire_len() as u64;
                     let latency = now - packet.injected_at;
                     self.stats.latency_sum += latency;
+                    self.obs.on_deliver(packet.wire_len() as u64, latency.as_nanos());
                     hooks.on_deliver(now, node, &packet, latency, cmds);
                 } else {
                     self.nodes[node.0].stats.dropped_no_route += 1;
                     self.stats.dropped_no_route += 1;
+                    self.obs.on_drop(DropReason::NoRoute);
                     hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
                 }
             }
@@ -415,6 +427,7 @@ impl Network {
                 if !packet.network.decrement_ttl() {
                     self.nodes[node.0].stats.dropped_ttl += 1;
                     self.stats.dropped_ttl += 1;
+                    self.obs.on_drop(DropReason::Ttl);
                     hooks.on_drop(now, DropReason::Ttl, &packet, cmds);
                     return;
                 }
@@ -436,6 +449,7 @@ impl Network {
         let Some(link_id) = self.nodes[node.0].route_cached(packet.network.dst()) else {
             self.nodes[node.0].stats.dropped_no_route += 1;
             self.stats.dropped_no_route += 1;
+            self.obs.on_drop(DropReason::NoRoute);
             hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
             return;
         };
@@ -444,14 +458,21 @@ impl Network {
         // The link hands a rejected packet back, so the happy path moves
         // the packet by value with no speculative clone.
         match link.offer(dir, packet, now, &mut self.rng) {
-            Offer::StartedTransmit => self.begin_transmission(now, link_id, dir),
-            Offer::Queued => {}
+            Offer::StartedTransmit => {
+                self.obs.on_enqueue_depth(self.links[link_id.0].queued_bytes(dir) as u64);
+                self.begin_transmission(now, link_id, dir);
+            }
+            Offer::Queued => {
+                self.obs.on_enqueue_depth(self.links[link_id.0].queued_bytes(dir) as u64);
+            }
             Offer::DroppedQueue(packet) => {
                 self.stats.dropped_queue += 1;
+                self.obs.on_drop(DropReason::Queue);
                 hooks.on_drop(now, DropReason::Queue, &packet, cmds);
             }
             Offer::DroppedFault(packet) => {
                 self.stats.dropped_fault += 1;
+                self.obs.on_drop(DropReason::Fault);
                 hooks.on_drop(now, DropReason::Fault, &packet, cmds);
             }
         }
@@ -687,6 +708,60 @@ mod tests {
             net.run_to_completion()
         };
         assert_eq!(run(), run());
+    }
+
+    /// The Observatory mirrors NetStats: the two accounting surfaces are
+    /// bumped at the same sites and must never disagree.
+    #[test]
+    fn obs_counters_agree_with_netstats() {
+        let (mut net, h1, s1, _, l1, _) = tiny_net();
+        net.link_mut(l1).fault.drop_probability = 0.2;
+        struct DropOdd;
+        impl PacketFilter for DropOdd {
+            fn decide(&mut self, _: SimTime, p: &Packet) -> FilterAction {
+                if p.transport.src_port() == Some(1001) {
+                    FilterAction::Drop
+                } else {
+                    FilterAction::Forward
+                }
+            }
+        }
+        net.install_filter(s1, Box::new(DropOdd));
+        let mut b = PacketBuilder::new();
+        for i in 0..300u64 {
+            let pkt = b.udp_v4(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000 + (i % 2) as u16, 2000,
+                Payload::Synthetic(120), 64, GroundTruth::default(),
+            );
+            net.inject(SimTime::from_micros(i * 13), h1, pkt);
+        }
+        let stats = net.run_to_completion();
+        let obs = &net.obs;
+        assert_eq!(obs.injected(), stats.injected);
+        assert_eq!(obs.delivered(), stats.delivered);
+        assert_eq!(obs.delivered_bytes(), stats.delivered_bytes);
+        assert_eq!(obs.dropped(DropReason::Queue), stats.dropped_queue);
+        assert_eq!(obs.dropped(DropReason::Fault), stats.dropped_fault);
+        assert_eq!(obs.dropped(DropReason::Filter), stats.dropped_filter);
+        assert_eq!(obs.dropped(DropReason::Ttl), stats.dropped_ttl);
+        assert_eq!(obs.dropped(DropReason::NoRoute), stats.dropped_no_route);
+        assert_eq!(obs.dropped(DropReason::NodeDown), stats.dropped_node_down);
+        assert_eq!(obs.dropped_total(), stats.dropped_total());
+        assert!(stats.dropped_fault > 0 && stats.dropped_filter > 0, "test exercised no drops");
+        // Latency histogram covers exactly the delivered packets, and its
+        // sum matches the stats' latency accumulator (ns truncated to us).
+        let lat = obs.latency_histogram();
+        assert_eq!(lat.count(), stats.delivered);
+        // Each observation truncates ns -> us, so the histogram sum brackets
+        // the exact accumulator to within one us per delivered packet.
+        let exact_ns = stats.latency_sum.as_nanos() as u128;
+        assert!(lat.sum() * 1_000 <= exact_ns);
+        assert!((lat.sum() + lat.count() as u128) * 1_000 > exact_ns);
+        assert!(obs.event_seq() > stats.injected, "every injection is at least one event");
+        // The dump renders and is stable.
+        assert_eq!(net.obs.render(), net.obs.render());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! # campuslab-obs
+//!
+//! The Observatory: a zero-dependency metrics registry (counters, gauges,
+//! fixed-bucket histograms) plus span-based stage tracing for every layer
+//! of the CampusLab pipeline.
+//!
+//! Two properties drive the whole design:
+//!
+//! * **Determinism.** Every value is timestamped in *sim-time* nanoseconds
+//!   and event sequence numbers — wall clock never enters a dump. Rendering
+//!   walks metrics in registration order and spans in sequence order, so a
+//!   dump or trace from the same seeded run is byte-for-byte identical, run
+//!   after run, sequential or parallel.
+//! * **Cheap on the fast path.** An [`ObsSink`] is a flat `Vec<u64>` owned
+//!   by whoever is being instrumented; bumping a counter is an array index
+//!   and an add. No globals, no locks, no atomics — parallel runners give
+//!   each worker its own sink and [`ObsSink::merge_from`] folds them.
+//!
+//! ```
+//! use campuslab_obs::Registry;
+//!
+//! let mut reg = Registry::new();
+//! let hits = reg.counter("cache_hits_total", "route cache hits");
+//! let depth = reg.histogram("queue_depth_bytes", "egress queue depth", &[100, 1_000, 10_000]);
+//! let mut sink = reg.sink();
+//! sink.inc(hits);
+//! sink.observe(depth, 250);
+//! let dump = reg.render(&sink);
+//! assert!(dump.contains("cache_hits_total 1"));
+//! assert!(dump.contains("queue_depth_bytes_bucket{le=\"1000\"} 1"));
+//! ```
+
+#![deny(rust_2018_idioms)]
+#![deny(unreachable_pub)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, ObsSink, Registry};
+pub use trace::{OpenSpan, Span, Tracer};
+
+/// Escape a string for inclusion in a JSON string literal (hand-rolled so
+/// deterministic renders need no serde).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the Observatory's metric types: histogram bucket
+//! monotonicity, merge associativity/commutativity, and the sum/count
+//! invariants every sink bump must preserve.
+
+use campuslab_obs::{Histogram, ObsSink, Registry};
+use proptest::prelude::*;
+use proptest::{collection, proptest, ProptestConfig};
+
+/// Random strictly-increasing bucket bounds (1..=6 buckets).
+fn bounds_from(raw: Vec<u64>) -> Vec<u64> {
+    let mut b: Vec<u64> = raw.into_iter().map(|v| v % 1_000_000).collect();
+    b.sort_unstable();
+    b.dedup();
+    if b.is_empty() {
+        b.push(1);
+    }
+    b
+}
+
+fn filled(bounds: &[u64], values: &[u64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn histogram_cumulative_is_monotone_and_totals_match(
+        raw_bounds in collection::vec(any::<u64>(), 1..=6),
+        values in collection::vec(0u64..2_000_000, 0..=64),
+    ) {
+        let bounds = bounds_from(raw_bounds);
+        let h = filled(&bounds, &values);
+        let cumulative = h.cumulative();
+        // One implicit +Inf bucket beyond the explicit bounds.
+        prop_assert_eq!(cumulative.len(), bounds.len() + 1);
+        for pair in cumulative.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "cumulative dipped: {:?}", cumulative);
+        }
+        // The +Inf bucket swallows everything; per-bucket counts sum to it.
+        prop_assert_eq!(*cumulative.last().unwrap(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        // Every value landed in the first bucket whose bound covers it.
+        for &v in &values {
+            let b = h.bucket_for(v);
+            prop_assert!(b == bounds.len() || v <= bounds[b]);
+            prop_assert!(b == 0 || v > bounds[b - 1]);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        raw_bounds in collection::vec(any::<u64>(), 1..=5),
+        xs in collection::vec(0u64..500_000, 0..=32),
+        ys in collection::vec(0u64..500_000, 0..=32),
+        zs in collection::vec(0u64..500_000, 0..=32),
+    ) {
+        let bounds = bounds_from(raw_bounds);
+        let (a, b, c) = (filled(&bounds, &xs), filled(&bounds, &ys), filled(&bounds, &zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        // b ⊕ a == a ⊕ b
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.sum(), ba.sum());
+        // Merging preserves the totals of both sides.
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+        prop_assert_eq!(ab.sum(), a.sum() + b.sum());
+    }
+
+    #[test]
+    fn sink_merge_matches_replayed_bumps(
+        xs in collection::vec((0usize..3, 1u64..1_000), 0..=48),
+        ys in collection::vec((0usize..3, 1u64..1_000), 0..=48),
+    ) {
+        // Schema: three counters and a histogram fed from every bump.
+        let mut reg = Registry::new();
+        let counters =
+            [reg.counter("a_total", ""), reg.counter("b_total", ""), reg.counter("c_total", "")];
+        let hist = reg.histogram("h", "", &[10, 100, 500]);
+        let bump = |sink: &mut ObsSink, stream: &[(usize, u64)]| {
+            for &(which, amount) in stream {
+                sink.add(counters[which], amount);
+                sink.observe(hist, amount);
+            }
+        };
+        // Two sinks merged…
+        let (mut left, mut right) = (reg.sink(), reg.sink());
+        bump(&mut left, &xs);
+        bump(&mut right, &ys);
+        left.merge_from(&right);
+        // …must equal one sink fed both streams in sequence.
+        let mut both = reg.sink();
+        bump(&mut both, &xs);
+        bump(&mut both, &ys);
+        for id in counters {
+            prop_assert_eq!(left.counter(id), both.counter(id));
+        }
+        prop_assert_eq!(left.histogram(hist).bucket_counts(), both.histogram(hist).bucket_counts());
+        prop_assert_eq!(left.histogram(hist).sum(), both.histogram(hist).sum());
+        // And the rendered dumps agree byte-for-byte.
+        prop_assert_eq!(reg.render(&left), reg.render(&both));
+    }
+
+    #[test]
+    fn disabled_sinks_stay_zero(
+        bumps in collection::vec(1u64..1_000, 0..=16),
+    ) {
+        let mut reg = Registry::new();
+        let c = reg.counter("c_total", "");
+        let h = reg.histogram("h", "", &[50]);
+        let mut sink = reg.sink();
+        sink.set_enabled(false);
+        for &v in &bumps {
+            sink.add(c, v);
+            sink.observe(h, v);
+        }
+        prop_assert_eq!(sink.counter(c), 0);
+        prop_assert_eq!(sink.histogram(h).count(), 0);
+        // Re-enabling resumes counting from zero, not from a stash.
+        sink.set_enabled(true);
+        sink.inc(c);
+        prop_assert_eq!(sink.counter(c), 1);
+    }
+}

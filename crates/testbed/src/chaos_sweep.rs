@@ -16,7 +16,7 @@ use campuslab_dataplane::PipelineProgram;
 use campuslab_ml::Classifier;
 use campuslab_netsim::par::parallel_map_with;
 use campuslab_netsim::{
-    Campus, ChaosConfig, GilbertElliott, LinkId, NodeId, Outage, SimDuration, SimTime,
+    Campus, ChaosConfig, DropReason, GilbertElliott, LinkId, NodeId, Outage, SimDuration, SimTime,
 };
 use serde::Serialize;
 
@@ -54,7 +54,8 @@ pub struct ChaosPoint {
     pub delivery_ratio: f64,
     /// Attack start → first rule active, when mitigation landed at all.
     pub time_to_mitigation_ms: Option<f64>,
-    /// Total install attempts across landed and abandoned episodes.
+    /// Total install attempts spent, from the Observatory registry — lands,
+    /// give-ups and attempts still in flight when the run ended.
     pub install_attempts: u32,
     /// Detections abandoned after the retry budget/timeout ran out.
     pub giveups: usize,
@@ -134,19 +135,30 @@ pub fn chaos_road_test_config(
     cfg
 }
 
+/// Derive one curve point from a finished road test — reading every stat
+/// the Observatory also exports from the *registry itself* (not from the
+/// legacy stat structs), so the degradation curve and the metrics dump are
+/// one source and cannot disagree.
 fn point_from(intensity: f64, outcome: &RoadTestOutcome) -> ChaosPoint {
+    let net = &outcome.obs.net;
+    let ctl = outcome.obs.controller.as_ref();
+    let injected = net.injected();
     ChaosPoint {
         intensity,
         suppression: outcome.suppression(),
-        delivery_ratio: outcome.delivery_ratio(),
+        delivery_ratio: if injected == 0 {
+            1.0
+        } else {
+            net.delivered() as f64 / injected as f64
+        },
         time_to_mitigation_ms: outcome
             .time_to_mitigation
             .map(|d| d.as_nanos() as f64 / 1e6),
-        install_attempts: outcome.install_attempts(),
-        giveups: outcome.giveups.len(),
-        mitigated: !outcome.mitigations.is_empty(),
-        dropped_fault: outcome.net.dropped_fault,
-        dropped_node_down: outcome.net.dropped_node_down,
+        install_attempts: ctl.map_or(0, |c| c.attempts()) as u32,
+        giveups: ctl.map_or(0, |c| c.giveups()) as usize,
+        mitigated: ctl.is_some_and(|c| c.installs() > 0),
+        dropped_fault: net.dropped(DropReason::Fault),
+        dropped_node_down: net.dropped(DropReason::NodeDown),
     }
 }
 
@@ -159,6 +171,18 @@ pub fn chaos_sweep(
     mk_model: impl Fn() -> Box<dyn Classifier + Send> + Sync,
     sweep: &ChaosSweepConfig,
 ) -> Vec<ChaosPoint> {
+    chaos_sweep_observed(scenario, program, mk_model, sweep).0
+}
+
+/// [`chaos_sweep`], also returning each point's Observatory bundle (in
+/// intensity order) so the degradation curve can ship with the full
+/// metrics dump it was derived from.
+pub fn chaos_sweep_observed(
+    scenario: &Scenario,
+    program: &PipelineProgram,
+    mk_model: impl Fn() -> Box<dyn Classifier + Send> + Sync,
+    sweep: &ChaosSweepConfig,
+) -> (Vec<ChaosPoint>, Vec<crate::observe::RunObs>) {
     parallel_map_with(&sweep.intensities, sweep.workers, |i, &intensity| {
         let cfg = chaos_road_test_config(
             scenario,
@@ -167,8 +191,11 @@ pub fn chaos_sweep(
             sweep.placement,
         );
         let outcome = road_test(scenario, program.clone(), Some(mk_model()), cfg);
-        point_from(intensity, &outcome)
+        let point = point_from(intensity, &outcome);
+        (point, outcome.obs)
     })
+    .into_iter()
+    .unzip()
 }
 
 #[cfg(test)]
@@ -246,6 +273,29 @@ mod tests {
         assert!(calm.delivery_ratio >= mayhem.delivery_ratio);
         assert!(mayhem.dropped_fault + mayhem.dropped_node_down > 0, "chaos never bit");
         assert_eq!(calm.dropped_node_down, 0);
+    }
+
+    /// The satellite fix this module carries: curve points are derived from
+    /// the Observatory registry, so every point field must agree with the
+    /// legacy stat structs the registry mirrors. If these ever diverge, the
+    /// degradation curve and the metrics dump are lying to someone.
+    #[test]
+    fn curve_points_agree_with_legacy_stats() {
+        let (program, model) = trained();
+        let s = Scenario::small();
+        let cfg = chaos_road_test_config(&s, 0.6, 0xC0FFEE, Placement::Controller);
+        let outcome = road_test(&s, program, Some(Box::new(model)), cfg);
+        let point = point_from(0.6, &outcome);
+        assert_eq!(point.dropped_fault, outcome.net.dropped_fault);
+        assert_eq!(point.dropped_node_down, outcome.net.dropped_node_down);
+        assert!((point.delivery_ratio - outcome.delivery_ratio()).abs() < 1e-12);
+        assert_eq!(point.mitigated, !outcome.mitigations.is_empty());
+        let ctl = outcome.obs.controller.as_ref().unwrap();
+        assert_eq!(ctl.installs() as usize, outcome.mitigations.len());
+        assert_eq!(point.giveups, outcome.giveups.len());
+        // The registry also counts attempts of episodes still in flight at
+        // end-of-run, so it can only run ahead of the resolved total.
+        assert!(point.install_attempts >= outcome.install_attempts());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! train it on each campus's own (never-shared) data store, and compare
 //! the resulting models across production networks.
 
+use crate::observe::RunObs;
 use crate::scenario::{collect, AttackScenario, Scenario};
-use campuslab_capture::PacketRecord;
 use campuslab_control::{run_development_loop, DevLoopConfig};
 use campuslab_ml::{Classifier, ConfusionMatrix};
 use campuslab_netsim::par::parallel_map;
@@ -143,12 +143,27 @@ impl CrossCampusResult {
 /// "open-sourced") development loop at each campus, evaluate every
 /// deployable model on every campus's held-out data.
 pub fn cross_campus(sites: &[CampusSite], dev: &DevLoopConfig) -> CrossCampusResult {
+    cross_campus_observed(sites, dev).0
+}
+
+/// [`cross_campus`], also returning each site's collection-run Observatory
+/// bundle (in site order). Telemetry is deliberately outside
+/// [`CrossCampusResult`]: the matrix is the shareable artifact, the
+/// per-campus dumps stay local like the data they describe.
+pub fn cross_campus_observed(
+    sites: &[CampusSite],
+    dev: &DevLoopConfig,
+) -> (CrossCampusResult, Vec<RunObs>) {
     assert!(sites.len() >= 2, "need at least two campuses");
     // Each campus is a self-seeded simulation, so collection fans out
     // across cores; parallel_map keeps site order, so results are
     // byte-identical to a sequential sweep.
-    let collected: Vec<Vec<PacketRecord>> =
-        parallel_map(sites, |_, s| collect(&s.scenario).packets);
+    let (collected, obs): (Vec<_>, Vec<_>) = parallel_map(sites, |_, s| {
+        let data = collect(&s.scenario);
+        (data.packets, data.obs)
+    })
+    .into_iter()
+    .unzip();
     // Each campus runs the shared algorithm privately. The protocol uses a
     // shuffled split so every campus's held-out set contains both classes
     // regardless of where the attack fell in its trace.
@@ -162,11 +177,12 @@ pub fn cross_campus(sites: &[CampusSite], dev: &DevLoopConfig) -> CrossCampusRes
             f1[i][j] = cm.f1(1);
         }
     }
-    CrossCampusResult {
+    let result = CrossCampusResult {
         names: sites.iter().map(|s| s.name.clone()).collect(),
         f1,
         records: collected.iter().map(Vec::len).collect(),
-    }
+    };
+    (result, obs)
 }
 
 #[cfg(test)]

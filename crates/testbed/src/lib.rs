@@ -30,6 +30,7 @@
 //! ```
 
 pub mod hooks;
+pub mod observe;
 pub mod scenario;
 pub mod roadtest;
 pub mod crosscampus;
@@ -37,10 +38,11 @@ pub mod trust;
 pub mod chaos_sweep;
 
 pub use chaos_sweep::{
-    chaos_road_test_config, chaos_sweep, ChaosPoint, ChaosSweepConfig,
+    chaos_road_test_config, chaos_sweep, chaos_sweep_observed, ChaosPoint, ChaosSweepConfig,
 };
-pub use crosscampus::{cross_campus, CampusSite, CrossCampusResult};
+pub use crosscampus::{cross_campus, cross_campus_observed, CampusSite, CrossCampusResult};
 pub use hooks::Duo;
+pub use observe::RunObs;
 pub use roadtest::{
     deployment_decision, road_test, DeploymentDecision, GateCriteria, RoadTestConfig,
     RoadTestOutcome,

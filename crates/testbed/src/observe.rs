@@ -1,0 +1,132 @@
+//! The Observatory bundle a testbed run carries out: every layer's metric
+//! sink plus a run-level trace, all stamped in sim-time so sequential and
+//! parallel executions render byte-identical dumps.
+
+use campuslab_capture::CaptureObs;
+use campuslab_control::{ControllerObs, DetectorObs, FastLoopStatsSnapshot};
+use campuslab_netsim::NetObs;
+use campuslab_obs::{Registry, Tracer};
+
+/// Telemetry moved out of one testbed run (a [`crate::collect`] pass or a
+/// [`crate::road_test`]). Layers that did not participate are `None` — a
+/// switch-placement road test has no controller, a collection pass has no
+/// filter bank.
+#[derive(Debug, Clone)]
+pub struct RunObs {
+    /// Simulator-core telemetry: events, drops by reason, queue depths,
+    /// delivery latency, chaos transitions.
+    pub net: NetObs,
+    /// Border-monitor conservation counters (collection runs).
+    pub capture: Option<CaptureObs>,
+    /// Window-detector telemetry (controller/cloud road tests).
+    pub detector: Option<DetectorObs>,
+    /// Mitigation-controller telemetry (controller/cloud road tests).
+    pub controller: Option<ControllerObs>,
+    /// Deployed-filter truth accounting, mirrored into metric form so the
+    /// dump and the outcome summaries share one source.
+    pub filter: Option<FastLoopStatsSnapshot>,
+    /// Run-level stage spans (sim-time), with any controller episode spans
+    /// merged in after the run's own.
+    pub tracer: Tracer,
+}
+
+impl RunObs {
+    /// A bundle holding only simulator telemetry.
+    pub fn net_only(net: NetObs) -> Self {
+        RunObs {
+            net,
+            capture: None,
+            detector: None,
+            controller: None,
+            filter: None,
+            tracer: Tracer::new(),
+        }
+    }
+
+    /// Render every participating layer as one Prometheus text dump.
+    ///
+    /// Section order is fixed (net, capture, filter, detector, controller)
+    /// and each section renders its registry in registration order, so the
+    /// whole dump is byte-deterministic for a given run.
+    pub fn prom(&self) -> String {
+        let mut out = self.net.render();
+        if let Some(c) = &self.capture {
+            out.push_str(&c.render());
+        }
+        if let Some(f) = &self.filter {
+            out.push_str(&render_filter(f));
+        }
+        if let Some(d) = &self.detector {
+            out.push_str(&d.render());
+        }
+        if let Some(c) = &self.controller {
+            out.push_str(&c.render());
+        }
+        out
+    }
+
+    /// Render the run trace as JSON (one span per line).
+    pub fn trace_json(&self) -> String {
+        self.tracer.render_json()
+    }
+}
+
+/// Mirror a [`FastLoopStatsSnapshot`] into Prometheus text through a
+/// throwaway registry, so filter truth accounting appears in the same dump
+/// format as everything else.
+fn render_filter(snap: &FastLoopStatsSnapshot) -> String {
+    let mut reg = Registry::new();
+    let packets = reg.counter("flt_packets_total", "packets crossing the deployed filter");
+    let dropped_attack = reg.counter_with_label(
+        "flt_dropped_packets_total",
+        Some("truth=\"attack\""),
+        "filter drops by ground-truth class",
+    );
+    let dropped_benign =
+        reg.counter_with_label("flt_dropped_packets_total", Some("truth=\"benign\""), "");
+    let passed_attack =
+        reg.counter("flt_passed_attack_total", "attack packets that slipped past the filter");
+    let mut sink = reg.sink();
+    sink.add(packets, snap.packets);
+    sink.add(dropped_attack, snap.dropped_attack);
+    sink.add(dropped_benign, snap.dropped_benign);
+    sink.add(passed_attack, snap.passed_attack);
+    reg.render(&sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_section_renders_truth_split() {
+        let snap = FastLoopStatsSnapshot {
+            packets: 100,
+            dropped: 41,
+            dropped_attack: 40,
+            dropped_benign: 1,
+            passed_attack: 3,
+            first_drop: None,
+        };
+        let text = render_filter(&snap);
+        assert!(text.contains("flt_packets_total 100"));
+        assert!(text.contains("flt_dropped_packets_total{truth=\"attack\"} 40"));
+        assert!(text.contains("flt_dropped_packets_total{truth=\"benign\"} 1"));
+        assert!(text.contains("flt_passed_attack_total 3"));
+    }
+
+    #[test]
+    fn prom_concatenates_in_fixed_order() {
+        let bundle = RunObs {
+            capture: Some(CaptureObs::new()),
+            detector: Some(DetectorObs::new()),
+            controller: Some(ControllerObs::new()),
+            ..RunObs::net_only(NetObs::new())
+        };
+        let text = bundle.prom();
+        let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+        assert!(pos("sim_events_total") < pos("cap_observed_packets_total"));
+        assert!(pos("cap_observed_packets_total") < pos("det_observed_records_total"));
+        assert!(pos("det_observed_records_total") < pos("ctl_episodes_total"));
+    }
+}

@@ -3,6 +3,7 @@
 //! operator cares about — time to mitigation, attack suppression, and
 //! collateral damage to benign traffic.
 
+use crate::observe::RunObs;
 use crate::scenario::{build_schedule, Scenario};
 use campuslab_control::{
     BankFilter, FastLoopStatsSnapshot, InstallGiveUp, InstallPolicy, MitigationController,
@@ -13,6 +14,7 @@ use campuslab_ml::Classifier;
 use campuslab_netsim::{
     Campus, ChaosPlan, NetStats, NullHooks, Outage, SimDuration, SimTime,
 };
+use campuslab_obs::Tracer;
 use serde::Serialize;
 use std::net::Ipv4Addr;
 
@@ -67,6 +69,9 @@ pub struct RoadTestOutcome {
     pub attack_packets_passed: u64,
     /// Benign packets dropped by the mitigation (collateral).
     pub benign_packets_dropped: u64,
+    /// Observatory bundle: per-layer metric sinks + the run trace, moved
+    /// out of the simulator and controller after the run.
+    pub obs: RunObs,
 }
 
 impl RoadTestOutcome {
@@ -119,6 +124,8 @@ pub fn road_test(
 
     let mut mitigations = Vec::new();
     let mut giveups = Vec::new();
+    let mut controller_obs = None;
+    let mut detector_obs = None;
     match cfg.placement {
         Placement::Switch => {
             // Compiled rules are in the switch before the attack exists.
@@ -139,9 +146,22 @@ pub fn road_test(
             };
             let mut controller = MitigationController::new(controller_cfg, model, handle.clone());
             net.run(&mut controller, None);
+            let (cobs, dobs) = controller.take_obs();
+            controller_obs = Some(cobs);
+            detector_obs = Some(dobs);
             mitigations = controller.events;
             giveups = controller.giveups;
         }
+    }
+
+    // The run-level span covers the whole simulation in sim-time; episode
+    // spans (opened/closed by the controller) are merged in after it, so
+    // span sequence numbers depend only on simulated history.
+    let mut tracer = Tracer::new();
+    let end_ns = net.now().as_nanos();
+    tracer.record(format!("roadtest[{:?}]", cfg.placement), 0, end_ns);
+    if let Some(cobs) = &controller_obs {
+        tracer.merge_from(&cobs.tracer);
     }
 
     let filter = handle.stats();
@@ -163,6 +183,14 @@ pub fn road_test(
         time_to_mitigation,
         attack_packets_passed: filter.passed_attack,
         benign_packets_dropped: filter.dropped_benign,
+        obs: RunObs {
+            net: net.obs,
+            capture: None,
+            detector: detector_obs,
+            controller: controller_obs,
+            filter: Some(filter),
+            tracer,
+        },
     }
 }
 
@@ -359,6 +387,42 @@ mod tests {
             "policer suppressed too little: {}",
             soft.suppression()
         );
+    }
+
+    #[test]
+    fn obs_bundle_mirrors_outcome_and_traces_the_run() {
+        let (program, window_model) = trained();
+        let outcome = road_test(
+            &Scenario::small(),
+            program,
+            Some(Box::new(window_model)),
+            RoadTestConfig { placement: Placement::Controller, ..Default::default() },
+        );
+        // Simulator counters mirror NetStats exactly.
+        let net = &outcome.obs.net;
+        assert_eq!(net.injected(), outcome.net.injected);
+        assert_eq!(net.delivered(), outcome.net.delivered);
+        assert_eq!(net.dropped_total(), outcome.net.dropped_total());
+        // Controller counters mirror the event log.
+        let ctl = outcome.obs.controller.as_ref().expect("controller obs");
+        assert_eq!(ctl.installs() as usize, outcome.mitigations.len());
+        assert_eq!(ctl.giveups() as usize, outcome.giveups.len());
+        assert!(ctl.installs() > 0, "controller never fired");
+        // The trace opens with the run-level span and carries one closed
+        // episode span per mitigation.
+        let spans = outcome.obs.tracer.spans();
+        assert_eq!(spans[0].name, "roadtest[Controller]");
+        assert_eq!(spans[0].start_ns, 0);
+        let episodes = spans.iter().filter(|s| s.name.starts_with("mitigate[")).count();
+        assert_eq!(episodes as u64, ctl.episodes());
+        // The dump contains every section a controller road test produces.
+        let prom = outcome.obs.prom();
+        for family in
+            ["sim_events_total", "flt_packets_total", "det_windows_closed_total", "ctl_installs_total"]
+        {
+            assert!(prom.contains(family), "dump missing {family}");
+        }
+        assert!(!prom.contains("cap_observed_packets_total"), "no monitor in a road test");
     }
 
     #[test]

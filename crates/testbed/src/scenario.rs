@@ -2,6 +2,7 @@
 //! life" of a campus, captured at the border and landed in the data store
 //! (the Figure-1 data-source path).
 
+use crate::observe::RunObs;
 use campuslab_capture::{BorderTapHooks, DnsMetaRecord, FlowRecord, MonitorConfig, MonitorStats, PacketRecord, RingStats, TcpRttRecord};
 use campuslab_datastore::DataStore;
 use campuslab_netsim::{Campus, CampusConfig, NetStats, SimDuration, SimTime};
@@ -75,6 +76,9 @@ pub struct CollectedData {
     pub victim: Option<Ipv4Addr>,
     /// When the (first) attack campaign started.
     pub attack_start: Option<SimTime>,
+    /// Observatory bundle: simulator + border-monitor metric sinks and the
+    /// run trace, moved out after the run.
+    pub obs: RunObs,
 }
 
 /// Build the schedule for a scenario on a freshly built campus.
@@ -133,17 +137,26 @@ pub fn collect(scenario: &Scenario) -> CollectedData {
     hooks.monitor.finish();
     let ring = hooks.monitor.ring_stats();
     let monitor = hooks.monitor.stats;
+    let packets = hooks.monitor.take_packet_records();
+    let flows = hooks.monitor.take_flow_records();
+    let dns = hooks.monitor.take_dns_records();
+    let rtts = hooks.monitor.take_rtt_records();
+    let end_ns = net.now().as_nanos();
+    let mut obs = RunObs::net_only(net.obs);
+    obs.capture = Some(hooks.monitor.obs);
+    obs.tracer.record("collect[border-tap]".to_string(), 0, end_ns);
     CollectedData {
-        packets: hooks.monitor.take_packet_records(),
-        flows: hooks.monitor.take_flow_records(),
-        dns: hooks.monitor.take_dns_records(),
-        rtts: hooks.monitor.take_rtt_records(),
+        packets,
+        flows,
+        dns,
+        rtts,
         net: net.stats,
         ring,
         monitor,
         scheduled,
         victim,
         attack_start,
+        obs,
     }
 }
 
@@ -197,6 +210,26 @@ mod tests {
         let data = collect(&s);
         assert!(data.packets.iter().all(|p| !p.is_malicious()));
         assert!(data.victim.is_none());
+    }
+
+    #[test]
+    fn collection_obs_conserves_and_mirrors_stats() {
+        let data = collect(&Scenario::small());
+        let cap = data.obs.capture.as_ref().expect("capture obs");
+        assert!(cap.conserved(), "capture conservation law violated");
+        assert_eq!(cap.observed(), data.monitor.observed);
+        assert_eq!(cap.captured(), data.monitor.captured);
+        assert_eq!(data.obs.net.injected(), data.net.injected);
+        assert_eq!(data.obs.net.delivered(), data.net.delivered);
+        // The run trace is a single border-tap span covering the run.
+        let spans = data.obs.tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "collect[border-tap]");
+        assert!(spans[0].end_ns > 0);
+        // And the dump renders both layers.
+        let prom = data.obs.prom();
+        assert!(prom.contains("sim_delivered_packets_total"));
+        assert!(prom.contains("cap_captured_packets_total"));
     }
 
     #[test]

@@ -6,6 +6,28 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# A property failure writes its case index into a proptest-regressions/
+# file; that reproducer must be committed alongside the fix. An untracked
+# or modified regression file here means a failure was observed but its
+# recording never made it into the tree.
+regr_dirty=$( (git ls-files --others --exclude-standard -- '*proptest-regressions*'; \
+               git diff --name-only -- '*proptest-regressions*') | sort -u)
+if [ -n "$regr_dirty" ]; then
+    echo "error: proptest recorded failures that are not committed:" >&2
+    echo "$regr_dirty" >&2
+    echo "fix the property (or commit the reproducer) before merging" >&2
+    exit 1
+fi
+
+# Line-coverage floor, gated on cargo-llvm-cov being installed (the tool
+# is optional tooling, not a build dependency; CI images that carry it
+# enforce the floor, bare containers skip with a notice).
+if cargo llvm-cov --version >/dev/null 2>&1; then
+    cargo llvm-cov --workspace --summary-only --fail-under-lines 60
+else
+    echo "notice: cargo-llvm-cov not installed; skipping coverage floor" >&2
+fi
+
 # The chaos layer's determinism and windowing invariants are load-bearing
 # for every robustness claim: gate on them explicitly.
 cargo test -q -p campuslab-netsim --test chaos
@@ -16,3 +38,22 @@ out=$(cargo run -q --release -p campuslab-bench --bin e14_chaos)
 echo "$out"
 echo "$out" | grep -q "parallel runner byte-identical to sequential: yes"
 echo "$out" | grep -q "calm bounds mayhem (suppression and delivery): yes"
+
+# Observatory overhead smoke: the instrumented event loop must stay
+# within 5% of the same run with the obs sink gated off. CRITERION_FAST
+# keeps the window small; the margin below is wide enough that shim-level
+# sampling noise does not flake the gate, while a real regression (obs
+# bumps growing beyond plain u64 adds) still trips it.
+bench_json=$(mktemp)
+BENCH_JSON="$bench_json" CRITERION_FAST=1 cargo bench -q -p campuslab-bench --bench simulator >/dev/null
+python3 - "$bench_json" <<'EOF'
+import json, sys
+results = {r["name"]: r["ns_per_iter"] for r in json.load(open(sys.argv[1]))}
+on = results["simulator/run_1s_campus_second"]
+off = results["simulator/run_1s_campus_second_obs_off"]
+overhead = on / off - 1.0
+print(f"obs overhead: {overhead:+.1%} (on {on:.0f} ns, off {off:.0f} ns)")
+if overhead > 0.05:
+    sys.exit("error: Observatory instrumentation overhead exceeds 5%")
+EOF
+rm -f "$bench_json"

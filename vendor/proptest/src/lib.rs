@@ -9,6 +9,10 @@
 //!   directly; there is no value tree.
 //! - String strategies support the tiny regex subset the tests use:
 //!   literals, character classes (`[a-z0-9]`), and `{m,n}` repetition.
+//! - **Failure persistence is index-based.** A failing case appends its
+//!   deterministic case index to the crate's `proptest-regressions/`
+//!   file (see [`regression`]); replays cover every recorded index even
+//!   if the configured case count shrinks.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,6 +21,7 @@ pub mod array;
 pub mod collection;
 pub mod option;
 pub mod prelude;
+pub mod regression;
 pub mod sample;
 pub mod test_runner;
 
@@ -353,14 +358,23 @@ macro_rules! __proptest_cases {
         $(#[$attr])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
-                module_path!(),
-                "::",
-                stringify!($name)
-            ));
-            for _case in 0..config.cases {
+            let test_id = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::test_runner::TestRng::deterministic(test_id);
+            // Failure persistence (see the `regression` module): replay
+            // covers every recorded index, and a fresh failure appends its
+            // case index before the panic continues.
+            let regr_path = $crate::regression::file_path(env!("CARGO_MANIFEST_DIR"), file!());
+            let recorded = $crate::regression::recorded(&regr_path, test_id);
+            let budget = $crate::regression::case_budget(config.cases, &recorded);
+            for _case in 0..budget {
                 $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)*
-                $body
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    $crate::regression::record(&regr_path, test_id, _case);
+                    ::std::panic::resume_unwind(panic);
+                }
             }
         }
     )*};

@@ -1,0 +1,112 @@
+//! Failure-persistence support, mirroring upstream proptest's
+//! `proptest-regressions/` files in index form.
+//!
+//! Cases in this shim are drawn from one sequential per-test RNG, so a
+//! failing case is identified by its **case index**: replaying it means
+//! running the loop far enough to reach that index again, which the
+//! harness guarantees by extending the case budget to cover every
+//! recorded index. A failure appends one `cc <index> <test>` line to
+//! `<crate>/proptest-regressions/<source-file-stem>.txt`; passing runs
+//! never write, so a dirty or untracked regression file in CI means a
+//! property failed somewhere and its reproducer must be committed.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The regression file for a given source file, under the crate root.
+pub fn file_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Case indices previously recorded for `test` (absent file → none).
+pub fn recorded(path: &Path, test: &str) -> Vec<u32> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut cases: Vec<u32> = content
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("cc ")?;
+            let (idx, name) = rest.split_once(' ')?;
+            (name.trim() == test).then(|| idx.parse().ok()).flatten()
+        })
+        .collect();
+    cases.sort_unstable();
+    cases.dedup();
+    cases
+}
+
+/// The number of cases a run must cover so every recorded index is
+/// replayed: at least `configured`, extended past the largest recording.
+pub fn case_budget(configured: u32, recorded: &[u32]) -> u32 {
+    match recorded.last() {
+        Some(&max) => configured.max(max + 1),
+        None => configured,
+    }
+}
+
+/// Persist a failing case index (idempotent per `(test, case)` pair).
+/// Creates the file with an explanatory header on first failure.
+pub fn record(path: &Path, test: &str, case: u32) {
+    if recorded(path, test).contains(&case) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let needs_header = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return; // failure persistence must never mask the test panic
+    };
+    if needs_header {
+        let _ = writeln!(
+            f,
+            "# Failure cases recorded by the vendored proptest shim.\n\
+             # Each line is `cc <case-index> <test>`: the deterministic case index at\n\
+             # which <test> failed. Runs replay all indices up to the largest recorded\n\
+             # one, so committed entries keep reproducing until the bug is fixed.\n\
+             # Delete a line only when its failure is understood and resolved."
+        );
+    }
+    let _ = writeln!(f, "cc {case} {test}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_dedups() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        let path = dir.join("sample.txt");
+        let _ = std::fs::remove_file(&path);
+        assert!(recorded(&path, "t::a").is_empty());
+        record(&path, "t::a", 7);
+        record(&path, "t::a", 3);
+        record(&path, "t::a", 7); // duplicate, ignored
+        record(&path, "t::b", 1);
+        assert_eq!(recorded(&path, "t::a"), vec![3, 7]);
+        assert_eq!(recorded(&path, "t::b"), vec![1]);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with('#'), "missing header");
+        assert_eq!(content.matches("cc ").count(), 3 + 1); // 3 entries + header mention
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budget_extends_past_recordings() {
+        assert_eq!(case_budget(64, &[]), 64);
+        assert_eq!(case_budget(64, &[3, 10]), 64);
+        assert_eq!(case_budget(64, &[90]), 91);
+    }
+
+    #[test]
+    fn paths_land_under_the_crate_root() {
+        let p = file_path("/ws/crates/demo", "crates/demo/tests/proptest_x.rs");
+        assert_eq!(p, Path::new("/ws/crates/demo/proptest-regressions/proptest_x.txt"));
+    }
+}
