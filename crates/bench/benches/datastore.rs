@@ -1,5 +1,8 @@
 //! Data-store search performance: the E3 "fast and flexible search" claim
-//! as a tracked benchmark (indexed vs scan, plus ingest).
+//! as a tracked benchmark — indexed vs scan across query shapes, plus
+//! sequential vs parallel batch ingest. Results land in
+//! `BENCH_datastore.json`; `scripts/ci.sh` reruns the group and gates on
+//! the indexed-vs-scan host-query ratio (≥5×).
 
 use campuslab::capture::{Direction, PacketRecord, TcpFlags};
 use campuslab::datastore::{DataStore, PacketQuery};
@@ -27,12 +30,24 @@ fn records(n: u64) -> Vec<PacketRecord> {
         .collect()
 }
 
+/// Split one capture into fixed-size batches for the sharded ingest path.
+fn batches_of(recs: &[PacketRecord], batch: usize) -> Vec<Vec<PacketRecord>> {
+    recs.chunks(batch).map(|c| c.to_vec()).collect()
+}
+
 fn bench(c: &mut Criterion) {
+    // Machine-readable results for CI and the perf history; the
+    // BENCH_JSON environment variable still overrides the path.
+    c.json_path("BENCH_datastore.json");
+
     let n = 200_000u64;
     let mut ds = DataStore::new();
     ds.ingest_packets(records(n));
     let host_q = PacketQuery::for_host("10.1.5.14".parse().unwrap());
     let port_q = PacketQuery::default().port(53);
+    let window_q =
+        PacketQuery::for_host("10.1.5.14".parse().unwrap()).window(200_000_000, 400_000_000);
+    let attack_q = PacketQuery::default().malicious();
 
     c.bench_function("datastore/indexed_host_query_200k", |b| {
         b.iter(|| black_box(ds.query_packets(&host_q).len()))
@@ -43,6 +58,13 @@ fn bench(c: &mut Criterion) {
     c.bench_function("datastore/indexed_port_query_200k", |b| {
         b.iter(|| black_box(ds.query_packets(&port_q).len()))
     });
+    c.bench_function("datastore/indexed_host_window_200k", |b| {
+        b.iter(|| black_box(ds.query_packets(&window_q).len()))
+    });
+    c.bench_function("datastore/indexed_attack_query_200k", |b| {
+        b.iter(|| black_box(ds.query_packets(&attack_q).len()))
+    });
+
     let batch = records(10_000);
     c.bench_function("datastore/ingest_10k", |b| {
         b.iter_batched(
@@ -50,7 +72,32 @@ fn bench(c: &mut Criterion) {
             |batch| {
                 let mut ds = DataStore::new();
                 ds.ingest_packets(batch);
-                black_box(ds.packets().len())
+                black_box(ds.packet_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Sequential vs parallel batch ingest over the same 80k records; the
+    // stores they build are byte-identical, only wall-clock differs.
+    let big = records(80_000);
+    c.bench_function("datastore/ingest_80k_batches_seq", |b| {
+        b.iter_batched(
+            || batches_of(&big, 10_000),
+            |batches| {
+                let mut ds = DataStore::new();
+                ds.ingest_packet_batches_with(batches, 1);
+                black_box(ds.packet_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("datastore/ingest_80k_batches_par", |b| {
+        b.iter_batched(
+            || batches_of(&big, 10_000),
+            |batches| {
+                let mut ds = DataStore::new();
+                ds.ingest_packet_batches_with(batches, 4);
+                black_box(ds.packet_count())
             },
             BatchSize::SmallInput,
         )

@@ -29,6 +29,7 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 pub fn observed(id: &str) -> Option<fn() -> ObsBundle> {
     match id {
         "E1" => Some(e1_ddos_gate::run_observed),
+        "E3" => Some(e3_datastore_query::run_observed),
         "E7" => Some(e7_cross_campus::run_observed),
         "E14" => Some(e14_chaos::run_observed),
         _ => None,

@@ -1,0 +1,66 @@
+//! E3 end-to-end: a small scenario collected at the border, landed in the
+//! segment-indexed store through the sharded ingest path, and searched —
+//! with the whole Observatory bundle pinned byte-for-byte against
+//! `golden/E3.golden` under both the sequential and the parallel runner
+//! (regen: `cargo run -p campuslab-bench --bin gen_golden`).
+
+use campuslab::datastore::PacketQuery;
+use campuslab::testbed::{build_store, collect, Scenario};
+use std::sync::Mutex;
+
+/// `CAMPUSLAB_JOBS` is process-global, so replays take turns.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn e3_bundle_replays_byte_for_byte() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = campuslab_bench::observed("E3").expect("E3 in observed registry");
+    std::env::set_var("CAMPUSLAB_JOBS", "1");
+    let sequential = run().canonical();
+    std::env::set_var("CAMPUSLAB_JOBS", "4");
+    let parallel = run().canonical();
+    std::env::remove_var("CAMPUSLAB_JOBS");
+    assert_eq!(
+        sequential, parallel,
+        "E3: sequential and parallel runners produced different bytes"
+    );
+    assert_eq!(
+        sequential,
+        include_str!("../golden/E3.golden"),
+        "E3: output drifted from the committed golden file \
+         (if intentional: cargo run -p campuslab-bench --bin gen_golden)"
+    );
+}
+
+/// The search path end-to-end, independent of the golden bytes: everything
+/// the tap captured is in the store, the indexed store finds the scenario's
+/// ground truth, and the store's Observatory saw every step.
+#[test]
+fn e3_store_serves_scenario_ground_truth() {
+    let data = collect(&Scenario::small());
+    let mut ds = build_store(&data);
+    // Capture → store conservation.
+    assert_eq!(ds.packet_count(), data.packets.len());
+    assert_eq!(ds.flow_count(), data.flows.len());
+    assert_eq!(ds.obs.ingested_packets(), data.packets.len() as u64);
+    // The victim's flood is findable by index and agrees with the scan.
+    let victim = std::net::IpAddr::V4(data.victim.expect("victim"));
+    let q = PacketQuery::for_host(victim).malicious();
+    let (hits, stats) = {
+        let (refs, stats) = ds.query_packets_observed(&q);
+        (refs.into_iter().cloned().collect::<Vec<_>>(), stats)
+    };
+    assert!(!hits.is_empty(), "no attack traffic found at the victim");
+    assert!(hits.iter().all(|r| r.is_malicious()));
+    let scan: Vec<_> = ds.scan_packets(&q).into_iter().cloned().collect();
+    assert_eq!(hits, scan);
+    // The indexed plan did less work than the scan on a selective query.
+    assert!(
+        stats.records_examined < ds.packet_count(),
+        "indexed path examined the whole table ({} of {})",
+        stats.records_examined,
+        ds.packet_count()
+    );
+    assert_eq!(ds.obs.queries_indexed(), 1);
+    assert!(ds.obs.query_cost_total() >= stats.records_examined as u128);
+}

@@ -143,7 +143,7 @@ mod tests {
         let platform = Platform::new(Scenario::small());
         let data = platform.collect();
         let ds = platform.store(&data);
-        assert_eq!(ds.packets().len(), data.packets.len());
+        assert_eq!(ds.packet_count(), data.packets.len());
         let dev = platform.develop(&data);
         assert!(dev.fidelity > 0.8);
         let outcome = platform.road_test_switch(&dev);

@@ -6,11 +6,16 @@
 //! but also linked and indexed to provide fast and flexible search
 //! capabilities" (§5).
 //!
-//! * [`DataStore`] — time-ordered tables with host/port/attack secondary
-//!   indexes, retention enforcement and storage accounting.
+//! * [`DataStore`] — time-partitioned segment chains with host/port/attack
+//!   secondary indexes, Bloom membership summaries, O(segments) retention
+//!   and storage accounting. Global order is `(timestamp, seq)`: equal
+//!   timestamps keep capture order deterministically, and parallel batch
+//!   ingest is byte-identical to sequential (DESIGN.md §9).
 //! * [`PacketQuery`]/[`FlowQuery`] — composable predicates; every indexed
 //!   query has an equivalent full-scan path so experiment E3 can measure
-//!   the speedup honestly.
+//!   the speedup honestly, and reports its work in [`QueryStats`].
+//! * [`StoreObs`] — the store's Observatory surface: ingest/query
+//!   counters, segment gauges, a deterministic query-cost histogram.
 //! * [`stats`] — the mining layer: summaries, top talkers, volume series.
 //!
 //! ```
@@ -21,12 +26,16 @@
 //! assert!(hits.is_empty()); // nothing ingested yet
 //! ```
 
+pub mod observe;
 pub mod persist;
 pub mod query;
+pub mod segment;
 pub mod stats;
 pub mod store;
 
+pub use observe::StoreObs;
 pub use persist::{load, save, PersistError};
-pub use query::{FlowQuery, PacketQuery};
+pub use query::{FlowQuery, PacketQuery, QueryStats};
+pub use segment::{SegmentStats, SEGMENT_CAPACITY};
 pub use stats::{summarize, top_talkers, volume_per_second, StoreSummary};
 pub use store::{DataStore, StorageReport};

@@ -1,0 +1,228 @@
+//! Observatory schema for the data store: one [`StoreObs`] per
+//! [`crate::DataStore`], bumped by ingest, query, and retention paths.
+//!
+//! Query "latency" is the deterministic work metric `records_examined`
+//! (see [`crate::QueryStats`]), recorded into `ds_query_cost_records` —
+//! a histogram in units of records, not wall time. Wall clocks would make
+//! golden-replay bundles machine-dependent; examined-record counts are a
+//! faithful, reproducible proxy for query cost in the simulated world.
+
+use crate::query::QueryStats;
+use campuslab_obs::{CounterId, GaugeId, HistogramId, ObsSink, Registry};
+
+/// Metrics registry + sink for one data store.
+#[derive(Debug, Clone)]
+pub struct StoreObs {
+    registry: Registry,
+    /// Value store; bumped by the store, read back through typed ids.
+    pub sink: ObsSink,
+    ingested_packets: CounterId,
+    ingested_flows: CounterId,
+    ingested_dns: CounterId,
+    ingested_sensors: CounterId,
+    ingest_batches: CounterId,
+    queries_indexed: CounterId,
+    queries_scan: CounterId,
+    segments_pruned: CounterId,
+    segments_scanned: CounterId,
+    retired_records: CounterId,
+    packet_segments: GaugeId,
+    flow_segments: GaugeId,
+    query_cost: HistogramId,
+}
+
+impl Default for StoreObs {
+    fn default() -> Self {
+        StoreObs::new()
+    }
+}
+
+impl StoreObs {
+    /// Build the datastore schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let ingested = "records ingested, by table";
+        let ingested_packets =
+            reg.counter_with_label("ds_ingested_records_total", Some("table=\"packets\""), ingested);
+        let ingested_flows =
+            reg.counter_with_label("ds_ingested_records_total", Some("table=\"flows\""), ingested);
+        let ingested_dns =
+            reg.counter_with_label("ds_ingested_records_total", Some("table=\"dns\""), ingested);
+        let ingested_sensors =
+            reg.counter_with_label("ds_ingested_records_total", Some("table=\"sensors\""), ingested);
+        let ingest_batches =
+            reg.counter("ds_ingest_batches_total", "ingest calls that landed at least one record");
+        let queries = "packet/flow queries served, by plan";
+        let queries_indexed =
+            reg.counter_with_label("ds_queries_total", Some("path=\"indexed\""), queries);
+        let queries_scan =
+            reg.counter_with_label("ds_queries_total", Some("path=\"scan\""), queries);
+        let segs = "segments a query planner visited, by outcome";
+        let segments_pruned =
+            reg.counter_with_label("ds_query_segments_total", Some("outcome=\"pruned\""), segs);
+        let segments_scanned =
+            reg.counter_with_label("ds_query_segments_total", Some("outcome=\"scanned\""), segs);
+        let retired_records =
+            reg.counter("ds_retired_records_total", "records dropped by retention enforcement");
+        let packet_segments = reg.gauge("ds_packet_segments", "live segments in the packet chain");
+        let flow_segments = reg.gauge("ds_flow_segments", "live segments in the flow chain");
+        let query_cost = reg.histogram(
+            "ds_query_cost_records",
+            "records examined per query (deterministic sim-time cost proxy)",
+            &[1, 8, 64, 512, 4096, 32768, 262144],
+        );
+        let sink = reg.sink();
+        StoreObs {
+            registry: reg,
+            sink,
+            ingested_packets,
+            ingested_flows,
+            ingested_dns,
+            ingested_sensors,
+            ingest_batches,
+            queries_indexed,
+            queries_scan,
+            segments_pruned,
+            segments_scanned,
+            retired_records,
+            packet_segments,
+            flow_segments,
+            query_cost,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_ingest_packets(&mut self, n: u64) {
+        self.sink.add(self.ingested_packets, n);
+        self.sink.inc(self.ingest_batches);
+    }
+
+    #[inline]
+    pub(crate) fn on_ingest_flows(&mut self, n: u64) {
+        self.sink.add(self.ingested_flows, n);
+        self.sink.inc(self.ingest_batches);
+    }
+
+    #[inline]
+    pub(crate) fn on_ingest_dns(&mut self, n: u64) {
+        self.sink.add(self.ingested_dns, n);
+        self.sink.inc(self.ingest_batches);
+    }
+
+    #[inline]
+    pub(crate) fn on_ingest_sensors(&mut self, n: u64) {
+        self.sink.add(self.ingested_sensors, n);
+        self.sink.inc(self.ingest_batches);
+    }
+
+    /// Record one served query: plan kind plus its [`QueryStats`].
+    #[inline]
+    pub(crate) fn on_query(&mut self, indexed: bool, stats: &QueryStats) {
+        self.sink.inc(if indexed { self.queries_indexed } else { self.queries_scan });
+        self.sink.add(self.segments_pruned, stats.segments_pruned as u64);
+        self.sink
+            .add(self.segments_scanned, (stats.segments_total - stats.segments_pruned) as u64);
+        self.sink.observe(self.query_cost, stats.records_examined as u64);
+    }
+
+    #[inline]
+    pub(crate) fn on_retired(&mut self, n: u64) {
+        self.sink.add(self.retired_records, n);
+    }
+
+    #[inline]
+    pub(crate) fn set_segments(&mut self, packets: usize, flows: usize) {
+        self.sink.set(self.packet_segments, packets as i64);
+        self.sink.set(self.flow_segments, flows as i64);
+    }
+
+    /// Records ingested into the packet table.
+    pub fn ingested_packets(&self) -> u64 {
+        self.sink.counter(self.ingested_packets)
+    }
+
+    /// Records ingested into the flow table.
+    pub fn ingested_flows(&self) -> u64 {
+        self.sink.counter(self.ingested_flows)
+    }
+
+    /// Non-empty ingest batches across all tables.
+    pub fn ingest_batches(&self) -> u64 {
+        self.sink.counter(self.ingest_batches)
+    }
+
+    /// Queries served by the indexed planner.
+    pub fn queries_indexed(&self) -> u64 {
+        self.sink.counter(self.queries_indexed)
+    }
+
+    /// Queries served by the full-scan baseline.
+    pub fn queries_scan(&self) -> u64 {
+        self.sink.counter(self.queries_scan)
+    }
+
+    /// Segments skipped wholesale by query planning.
+    pub fn segments_pruned(&self) -> u64 {
+        self.sink.counter(self.segments_pruned)
+    }
+
+    /// Segments a query actually examined records in.
+    pub fn segments_scanned(&self) -> u64 {
+        self.sink.counter(self.segments_scanned)
+    }
+
+    /// Records dropped by retention.
+    pub fn retired_records(&self) -> u64 {
+        self.sink.counter(self.retired_records)
+    }
+
+    /// Live packet-chain segments (last published value).
+    pub fn packet_segments(&self) -> i64 {
+        self.sink.gauge(self.packet_segments)
+    }
+
+    /// Total records examined across all queries (histogram sum).
+    pub fn query_cost_total(&self) -> u128 {
+        self.sink.histogram(self.query_cost).sum()
+    }
+
+    /// Render this store's metrics as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_bookkeeping_lands_in_all_three_families() {
+        let mut obs = StoreObs::new();
+        obs.on_ingest_packets(100);
+        obs.on_query(
+            true,
+            &QueryStats { segments_total: 8, segments_pruned: 6, records_examined: 42, hits: 5 },
+        );
+        obs.on_query(
+            false,
+            &QueryStats { segments_total: 8, segments_pruned: 0, records_examined: 100, hits: 5 },
+        );
+        obs.set_segments(8, 2);
+        assert_eq!(obs.queries_indexed(), 1);
+        assert_eq!(obs.queries_scan(), 1);
+        assert_eq!(obs.segments_pruned(), 6);
+        assert_eq!(obs.segments_scanned(), 10);
+        assert_eq!(obs.query_cost_total(), 142);
+        let text = obs.render();
+        assert!(text.contains("ds_ingested_records_total{table=\"packets\"} 100"));
+        assert!(text.contains("ds_queries_total{path=\"indexed\"} 1"));
+        assert!(text.contains("ds_packet_segments 8"));
+        assert!(text.contains("ds_query_cost_records_count 2"));
+    }
+}

@@ -63,10 +63,10 @@ impl From<serde_json::Error> for PersistError {
 pub fn save<W: Write>(ds: &DataStore, mut out: W) -> Result<(), PersistError> {
     let snapshot = Snapshot {
         version: FORMAT_VERSION,
-        packets: ds.packets().to_vec(),
-        flows: ds.flows().to_vec(),
-        dns: ds.dns().to_vec(),
-        sensors: ds.sensors().to_vec(),
+        packets: ds.iter_packets().cloned().collect(),
+        flows: ds.iter_flows().cloned().collect(),
+        dns: ds.iter_dns().cloned().collect(),
+        sensors: ds.iter_sensors().cloned().collect(),
     };
     serde_json::to_writer(&mut out, &snapshot)?;
     out.flush()?;
@@ -162,8 +162,12 @@ mod tests {
         let mut buf = Vec::new();
         save(&ds, &mut buf).unwrap();
         let loaded = load(&buf[..]).unwrap();
-        assert_eq!(loaded.packets(), ds.packets());
-        assert_eq!(loaded.sensors(), ds.sensors());
+        let a: Vec<&PacketRecord> = loaded.iter_packets().collect();
+        let b: Vec<&PacketRecord> = ds.iter_packets().collect();
+        assert_eq!(a, b);
+        let sa: Vec<&SensorRecord> = loaded.iter_sensors().collect();
+        let sb: Vec<&SensorRecord> = ds.iter_sensors().collect();
+        assert_eq!(sa, sb);
         // Indexes were rebuilt: queries agree with scans.
         let q = PacketQuery::for_host("10.1.1.7".parse().unwrap()).malicious();
         let idx: Vec<u64> = loaded.query_packets(&q).iter().map(|r| r.ts_ns).collect();
@@ -247,6 +251,6 @@ mod tests {
         let mut buf = Vec::new();
         save(&ds, &mut buf).unwrap();
         let loaded = load(&buf[..]).unwrap();
-        assert!(loaded.packets().is_empty());
+        assert_eq!(loaded.packet_count(), 0);
     }
 }

@@ -99,6 +99,37 @@ impl PacketQuery {
     }
 }
 
+/// Deterministic per-query cost accounting.
+///
+/// These are work counts, not wall times: replayed on any machine at any
+/// worker count they come out identical, which is what lets experiment E3
+/// pin its query-cost table with a golden file. `records_examined` is the
+/// store's latency proxy — every record a plan touches, whether or not it
+/// matched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Segments in the chain when the query ran.
+    pub segments_total: usize,
+    /// Segments planning skipped wholesale (time bounds, Bloom summary,
+    /// or empty postings).
+    pub segments_pruned: usize,
+    /// Records the plan actually looked at.
+    pub records_examined: usize,
+    /// Records returned.
+    pub hits: usize,
+}
+
+impl QueryStats {
+    /// `examined(scan) / examined(self)` — how much work pruning saved,
+    /// floored at 1× when the plan examined nothing.
+    pub fn work_reduction_vs(&self, scan: &QueryStats) -> f64 {
+        if self.records_examined == 0 {
+            return scan.records_examined.max(1) as f64;
+        }
+        scan.records_examined as f64 / self.records_examined as f64
+    }
+}
+
 /// A flow-table query.
 #[derive(Debug, Clone, Default)]
 pub struct FlowQuery {

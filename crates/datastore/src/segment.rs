@@ -1,0 +1,901 @@
+//! Time-partitioned storage segments: the store's physical layout.
+//!
+//! Ingest lands records in per-record-type chains of **segments**. Each
+//! segment is internally sorted by `(ts_ns, seq)` — `seq` being the global
+//! ingest sequence number, so records captured at the same nanosecond keep
+//! their capture order deterministically — and carries its time bounds.
+//! Packet segments additionally carry per-host and per-port Bloom-style
+//! membership summaries plus exact in-segment postings, so a query plans
+//! as *prune segments → binary-search the window → filter*, and retention
+//! truncates whole segments instead of compacting one flat table.
+//!
+//! Batch ingest shards segment construction across worker threads with
+//! [`campuslab_netsim::par::parallel_map_with`]; construction of one
+//! segment depends only on its own chunk and the pre-assigned sequence
+//! range, so the resulting store is byte-identical at any worker count
+//! (the same contract the experiment runner keeps, pinned by
+//! `tests/par_ingest.rs`).
+
+use crate::query::{PacketQuery, QueryStats};
+use campuslab_capture::{DnsMetaRecord, FlowRecord, FxHashMap, PacketRecord, SensorRecord};
+use campuslab_netsim::fxhash::FxHasher;
+use campuslab_netsim::par;
+use std::hash::{Hash, Hasher as _};
+use std::net::IpAddr;
+use std::ops::Range;
+
+/// Records per sealed packet segment. Small enough that a boundary
+/// truncation or a single-segment scan stays cheap, large enough that
+/// segment metadata (bounds, blooms, postings) amortizes.
+pub const SEGMENT_CAPACITY: usize = 4096;
+
+/// Global ordering key: capture timestamp, then ingest sequence.
+type Key = (u64, u64);
+
+/// Deterministic Fx hash of any hashable key (addresses, ports). The
+/// store must never use SipHash's per-process randomness: segment
+/// summaries have to come out identical across runs and machines.
+fn fx_key<T: Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Bloom-style membership summary
+// ---------------------------------------------------------------------------
+
+const BLOOM_BITS: u64 = 4096;
+const BLOOM_WORDS: usize = (BLOOM_BITS / 64) as usize;
+
+/// A fixed-size, two-probe Bloom membership summary. False positives only
+/// cost a postings lookup; false negatives are impossible, so pruning on
+/// `may_contain == false` is always sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bloom {
+    words: [u64; BLOOM_WORDS],
+}
+
+impl Bloom {
+    fn new() -> Self {
+        Bloom { words: [0; BLOOM_WORDS] }
+    }
+
+    /// Two probe bit positions from independent halves of the 64-bit key.
+    fn probes(key: u64) -> (u64, u64) {
+        (key % BLOOM_BITS, (key >> 32) % BLOOM_BITS)
+    }
+
+    fn insert(&mut self, key: u64) {
+        let (a, b) = Self::probes(key);
+        self.words[(a / 64) as usize] |= 1 << (a % 64);
+        self.words[(b / 64) as usize] |= 1 << (b % 64);
+    }
+
+    fn may_contain(&self, key: u64) -> bool {
+        let (a, b) = Self::probes(key);
+        self.words[(a / 64) as usize] & (1 << (a % 64)) != 0
+            && self.words[(b / 64) as usize] & (1 << (b % 64)) != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packet segments
+// ---------------------------------------------------------------------------
+
+/// Read-only shape of one packet segment, for tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    pub records: usize,
+    pub min_ts_ns: u64,
+    pub max_ts_ns: u64,
+}
+
+/// One sealed (or still-filling) run of packet records, sorted by
+/// `(ts_ns, seq)`, with membership summaries and exact postings.
+#[derive(Debug, Clone)]
+pub(crate) struct PacketSegment {
+    recs: Vec<PacketRecord>,
+    seqs: Vec<u64>,
+    hosts: Bloom,
+    ports: Bloom,
+    by_host: FxHashMap<IpAddr, Vec<u32>>,
+    by_port: FxHashMap<u16, Vec<u32>>,
+    attack: Vec<u32>,
+}
+
+/// What a segment offers a query after pruning: exact postings positions
+/// (already window-sliced) or a contiguous record range.
+enum Candidates<'a> {
+    Positions(&'a [u32]),
+    Range(Range<usize>),
+}
+
+impl PacketSegment {
+    fn empty() -> Self {
+        PacketSegment {
+            recs: Vec::new(),
+            seqs: Vec::new(),
+            hosts: Bloom::new(),
+            ports: Bloom::new(),
+            by_host: FxHashMap::default(),
+            by_port: FxHashMap::default(),
+            attack: Vec::new(),
+        }
+    }
+
+    /// Build a segment from `(record, seq)` pairs already sorted by
+    /// `(ts_ns, seq)`. Clones out of the shared slice so builds can run
+    /// on parallel workers over chunks of one sorted batch.
+    fn build_from_pairs(pairs: &[(PacketRecord, u64)]) -> Self {
+        let mut seg = PacketSegment::empty();
+        seg.recs.reserve(pairs.len());
+        seg.seqs.reserve(pairs.len());
+        for (rec, seq) in pairs {
+            seg.push(rec.clone(), *seq);
+        }
+        seg
+    }
+
+    /// Append one record; the caller guarantees `(rec.ts_ns, seq)` is
+    /// greater than every key already present.
+    fn push(&mut self, rec: PacketRecord, seq: u64) {
+        debug_assert!(
+            self.recs.last().map(|l| (l.ts_ns, *self.seqs.last().unwrap()) < (rec.ts_ns, seq)).unwrap_or(true),
+            "segment append out of (ts, seq) order"
+        );
+        let pos = self.recs.len() as u32;
+        self.hosts.insert(fx_key(&rec.src));
+        self.by_host.entry(rec.src).or_default().push(pos);
+        if rec.dst != rec.src {
+            self.hosts.insert(fx_key(&rec.dst));
+            self.by_host.entry(rec.dst).or_default().push(pos);
+        }
+        self.ports.insert(fx_key(&rec.dst_port));
+        self.by_port.entry(rec.dst_port).or_default().push(pos);
+        if rec.is_malicious() {
+            self.attack.push(pos);
+        }
+        self.recs.push(rec);
+        self.seqs.push(seq);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    fn min_ts(&self) -> u64 {
+        self.recs.first().map(|r| r.ts_ns).unwrap_or(0)
+    }
+
+    fn max_ts(&self) -> u64 {
+        self.recs.last().map(|r| r.ts_ns).unwrap_or(0)
+    }
+
+    pub(crate) fn stats(&self) -> SegmentStats {
+        SegmentStats { records: self.len(), min_ts_ns: self.min_ts(), max_ts_ns: self.max_ts() }
+    }
+
+    /// Slice sorted postings positions down to the query window (postings
+    /// follow record order, so their timestamps are non-decreasing).
+    fn window_positions<'a>(&self, pos: &'a [u32], time: Option<&Range<u64>>) -> &'a [u32] {
+        match time {
+            None => pos,
+            Some(r) => {
+                let lo = pos.partition_point(|&i| self.recs[i as usize].ts_ns < r.start);
+                let hi = pos.partition_point(|&i| self.recs[i as usize].ts_ns < r.end);
+                &pos[lo..hi]
+            }
+        }
+    }
+
+    /// Plan this segment's contribution to `q`: `None` means the whole
+    /// segment is pruned (time bounds, Bloom summary, or empty postings).
+    /// The caller guarantees a non-inverted time window.
+    fn candidates(&self, q: &PacketQuery) -> Option<Candidates<'_>> {
+        let time = q.time_ns.as_ref();
+        if let Some(r) = time {
+            if self.max_ts() < r.start || self.min_ts() >= r.end {
+                return None;
+            }
+        }
+        if let Some(h) = q.host.or(q.src).or(q.dst) {
+            if !self.hosts.may_contain(fx_key(&h)) {
+                return None;
+            }
+            let pos = self.window_positions(self.by_host.get(&h)?.as_slice(), time);
+            return (!pos.is_empty()).then_some(Candidates::Positions(pos));
+        }
+        if let Some(p) = q.dst_port {
+            if !self.ports.may_contain(fx_key(&p)) {
+                return None;
+            }
+            let pos = self.window_positions(self.by_port.get(&p)?.as_slice(), time);
+            return (!pos.is_empty()).then_some(Candidates::Positions(pos));
+        }
+        if q.malicious_only {
+            let pos = self.window_positions(&self.attack, time);
+            return (!pos.is_empty()).then_some(Candidates::Positions(pos));
+        }
+        let range = match time {
+            Some(r) => {
+                let lo = self.recs.partition_point(|rec| rec.ts_ns < r.start);
+                let hi = self.recs.partition_point(|rec| rec.ts_ns < r.end);
+                lo..hi
+            }
+            None => 0..self.recs.len(),
+        };
+        (!range.is_empty()).then_some(Candidates::Range(range))
+    }
+
+    /// Drop every record with `ts_ns < cutoff`; rebuilds the segment's
+    /// postings and summaries. Returns how many records went.
+    fn truncate_before(&mut self, cutoff_ns: u64) -> usize {
+        let cut = self.recs.partition_point(|r| r.ts_ns < cutoff_ns);
+        if cut == 0 {
+            return 0;
+        }
+        let recs = self.recs.split_off(cut);
+        let seqs = self.seqs.split_off(cut);
+        *self = PacketSegment::empty();
+        for (rec, seq) in recs.into_iter().zip(seqs) {
+            self.push(rec, seq);
+        }
+        cut
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The packet chain
+// ---------------------------------------------------------------------------
+
+/// The packet table: a chain of segments plus the global sequence counter.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PacketChain {
+    segs: Vec<PacketSegment>,
+    next_seq: u64,
+}
+
+/// Pair a batch with fresh sequence numbers (capture order), then sort by
+/// `(ts_ns, seq)`. The sort is stable in effect: equal timestamps keep
+/// ingest-arrival order because their seqs are already ascending.
+fn sort_pairs(batch: Vec<PacketRecord>, start_seq: u64) -> Vec<(PacketRecord, u64)> {
+    let mut pairs: Vec<(PacketRecord, u64)> =
+        batch.into_iter().zip(start_seq..).collect();
+    pairs.sort_by_key(|(r, s)| (r.ts_ns, *s));
+    pairs
+}
+
+/// Build the sealed segments for one sorted batch, chunked at capacity.
+fn build_segments(pairs: &[(PacketRecord, u64)], workers: usize) -> Vec<PacketSegment> {
+    let chunks: Vec<&[(PacketRecord, u64)]> = pairs.chunks(SEGMENT_CAPACITY).collect();
+    par::parallel_map_with(&chunks, workers.min(chunks.len()), |_, c| {
+        PacketSegment::build_from_pairs(c)
+    })
+}
+
+impl PacketChain {
+    /// Ingest one batch. Batches may arrive unsorted; the batch is sorted
+    /// by `(ts_ns, seq)` and either appended to the trailing segment (when
+    /// it fits and does not travel back in time) or landed as fresh
+    /// segments — never by re-sorting the whole table.
+    pub fn ingest(&mut self, batch: Vec<PacketRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        let start = self.next_seq;
+        self.next_seq += batch.len() as u64;
+        let pairs = sort_pairs(batch, start);
+        if let Some(last) = self.segs.last_mut() {
+            if last.len() + pairs.len() <= SEGMENT_CAPACITY && pairs[0].0.ts_ns >= last.max_ts() {
+                for (rec, seq) in pairs {
+                    last.push(rec, seq);
+                }
+                return;
+            }
+        }
+        let workers = par::worker_count(pairs.len() / SEGMENT_CAPACITY + 1);
+        self.segs.extend(build_segments(&pairs, workers));
+    }
+
+    /// Ingest many batches, sharding segment construction across `workers`
+    /// threads. Each batch owns a pre-assigned sequence range and builds
+    /// its segments independently, so the chain is byte-identical at any
+    /// worker count and appends in batch order.
+    pub fn ingest_batches(&mut self, batches: Vec<Vec<PacketRecord>>, workers: usize) {
+        let mut items: Vec<(Vec<PacketRecord>, u64)> = Vec::with_capacity(batches.len());
+        for batch in batches {
+            if batch.is_empty() {
+                continue;
+            }
+            let start = self.next_seq;
+            self.next_seq += batch.len() as u64;
+            items.push((batch, start));
+        }
+        let built: Vec<Vec<PacketSegment>> =
+            par::parallel_map_with(&items, workers, |_, (batch, start)| {
+                let pairs = sort_pairs(batch.clone(), *start);
+                build_segments(&pairs, 1)
+            });
+        for segs in built {
+            self.segs.extend(segs);
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.segs.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.segs.iter().map(|s| s.stats()).collect()
+    }
+
+    /// All records in global `(ts_ns, seq)` order.
+    pub fn iter_seq(&self) -> OrderedIter<'_, PacketRecord> {
+        ordered_iter(self.segs.iter().map(|s| (s.recs.as_slice(), s.seqs.as_slice())).collect())
+    }
+
+    /// Indexed query: prune segments, binary-search windows, filter.
+    pub fn query(&self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        let mut stats = QueryStats { segments_total: self.segs.len(), ..QueryStats::default() };
+        // An inverted or empty window matches nothing; prune everything
+        // before the binary-search slicing below would slice lo > hi.
+        // Queries are untrusted input.
+        if q.time_ns.as_ref().is_some_and(|r| r.start >= r.end) {
+            stats.segments_pruned = stats.segments_total;
+            return (Vec::new(), stats);
+        }
+        let limit = q.limit.unwrap_or(usize::MAX);
+        let mut lists: Vec<Vec<(Key, &PacketRecord)>> = Vec::new();
+        for seg in &self.segs {
+            let Some(cand) = seg.candidates(q) else {
+                stats.segments_pruned += 1;
+                continue;
+            };
+            let mut hits: Vec<(Key, &PacketRecord)> = Vec::new();
+            // Positions and ranges walk the same examine-filter loop; the
+            // iterator erases which plan fed it.
+            let positions: Box<dyn Iterator<Item = usize>> = match cand {
+                Candidates::Positions(ps) => Box::new(ps.iter().map(|&p| p as usize)),
+                Candidates::Range(range) => Box::new(range),
+            };
+            for i in positions {
+                if hits.len() >= limit {
+                    break;
+                }
+                stats.records_examined += 1;
+                let r = &seg.recs[i];
+                if q.matches(r) {
+                    hits.push(((r.ts_ns, seg.seqs[i]), r));
+                }
+            }
+            if !hits.is_empty() {
+                lists.push(hits);
+            }
+        }
+        let merged = merge_lists(lists, limit);
+        stats.hits = merged.len();
+        (merged, stats)
+    }
+
+    /// Full linear scan in global order — the honest baseline every
+    /// indexed query is differential-tested (and benchmarked) against.
+    pub fn scan(&self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        let mut stats = QueryStats { segments_total: self.segs.len(), ..QueryStats::default() };
+        let limit = q.limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for (_, r) in self.iter_seq() {
+            if out.len() >= limit {
+                break;
+            }
+            stats.records_examined += 1;
+            if q.matches(r) {
+                out.push(r);
+            }
+        }
+        stats.hits = out.len();
+        (out, stats)
+    }
+
+    /// Retention: whole segments older than the cutoff drop in O(1) each;
+    /// at most the boundary segments pay a rebuild. Returns records dropped.
+    pub fn retain_since(&mut self, cutoff_ns: u64) -> u64 {
+        let mut dropped = 0u64;
+        self.segs.retain_mut(|seg| {
+            if seg.max_ts() < cutoff_ns {
+                dropped += seg.len() as u64;
+                false
+            } else if seg.min_ts() >= cutoff_ns {
+                true
+            } else {
+                dropped += seg.truncate_before(cutoff_ns) as u64;
+                seg.len() > 0
+            }
+        });
+        dropped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic time chains (flows, DNS metadata, sensor events)
+// ---------------------------------------------------------------------------
+
+/// Record types the chains can order and prune by: a start timestamp
+/// (the sort key) and an end timestamp (the retention key). Point records
+/// report the same value for both.
+pub trait TimeSpan {
+    fn start_ns(&self) -> u64;
+    fn end_ns(&self) -> u64;
+}
+
+impl TimeSpan for PacketRecord {
+    fn start_ns(&self) -> u64 {
+        self.ts_ns
+    }
+    fn end_ns(&self) -> u64 {
+        self.ts_ns
+    }
+}
+
+impl TimeSpan for FlowRecord {
+    fn start_ns(&self) -> u64 {
+        self.first_ts_ns
+    }
+    fn end_ns(&self) -> u64 {
+        self.last_ts_ns
+    }
+}
+
+impl TimeSpan for DnsMetaRecord {
+    fn start_ns(&self) -> u64 {
+        self.ts_ns
+    }
+    fn end_ns(&self) -> u64 {
+        self.ts_ns
+    }
+}
+
+impl TimeSpan for SensorRecord {
+    fn start_ns(&self) -> u64 {
+        self.ts_ns()
+    }
+    fn end_ns(&self) -> u64 {
+        self.ts_ns()
+    }
+}
+
+/// One run of records sorted by `(start_ns, seq)` with cached span bounds.
+#[derive(Debug, Clone)]
+struct ChainSegment<T> {
+    recs: Vec<T>,
+    seqs: Vec<u64>,
+    /// Smallest `end_ns` in the segment (retention fast path).
+    min_end_ns: u64,
+    /// Largest `end_ns` in the segment (retention / overlap pruning).
+    max_end_ns: u64,
+}
+
+impl<T: TimeSpan> ChainSegment<T> {
+    fn from_pairs(pairs: Vec<(T, u64)>) -> Self {
+        let mut seg = ChainSegment {
+            recs: Vec::with_capacity(pairs.len()),
+            seqs: Vec::with_capacity(pairs.len()),
+            min_end_ns: u64::MAX,
+            max_end_ns: 0,
+        };
+        for (rec, seq) in pairs {
+            seg.push(rec, seq);
+        }
+        seg
+    }
+
+    fn push(&mut self, rec: T, seq: u64) {
+        self.min_end_ns = self.min_end_ns.min(rec.end_ns());
+        self.max_end_ns = self.max_end_ns.max(rec.end_ns());
+        self.recs.push(rec);
+        self.seqs.push(seq);
+    }
+
+    fn min_start(&self) -> u64 {
+        self.recs.first().map(|r| r.start_ns()).unwrap_or(0)
+    }
+
+    fn max_start(&self) -> u64 {
+        self.recs.last().map(|r| r.start_ns()).unwrap_or(0)
+    }
+}
+
+/// A chain of time-ordered segments for one record type.
+#[derive(Debug, Clone)]
+pub(crate) struct TimeChain<T> {
+    segs: Vec<ChainSegment<T>>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl<T: TimeSpan> Default for TimeChain<T> {
+    fn default() -> Self {
+        TimeChain { segs: Vec::new(), next_seq: 0, capacity: SEGMENT_CAPACITY }
+    }
+}
+
+impl<T: TimeSpan> TimeChain<T> {
+    pub fn ingest(&mut self, batch: Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        let start = self.next_seq;
+        self.next_seq += batch.len() as u64;
+        let mut pairs: Vec<(T, u64)> = batch.into_iter().zip(start..).collect();
+        pairs.sort_by_key(|(r, s)| (r.start_ns(), *s));
+        if let Some(last) = self.segs.last_mut() {
+            if last.recs.len() + pairs.len() <= self.capacity
+                && pairs[0].0.start_ns() >= last.max_start()
+            {
+                for (rec, seq) in pairs {
+                    last.push(rec, seq);
+                }
+                return;
+            }
+        }
+        let mut pairs = pairs;
+        while !pairs.is_empty() {
+            let rest = pairs.split_off(pairs.len().min(self.capacity));
+            self.segs.push(ChainSegment::from_pairs(pairs));
+            pairs = rest;
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.segs.iter().map(|s| s.recs.len()).sum()
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// All records in global `(start_ns, seq)` order.
+    pub fn iter_seq(&self) -> OrderedIter<'_, T> {
+        ordered_iter(self.segs.iter().map(|s| (s.recs.as_slice(), s.seqs.as_slice())).collect())
+    }
+
+    /// Run `matches` over the chain in global order. With `prune` set,
+    /// segments outside the overlap window are skipped wholesale and each
+    /// candidate segment stops at the first record starting past the
+    /// window's end (records are start-sorted); without it, this is the
+    /// full-scan baseline.
+    pub fn query_overlap<F>(
+        &self,
+        time: Option<&Range<u64>>,
+        matches: F,
+        limit: usize,
+        prune: bool,
+    ) -> (Vec<&T>, QueryStats)
+    where
+        F: Fn(&T) -> bool,
+    {
+        // No inverted-window special case here: overlap matching is
+        // `last >= start && first < end`, which a long-lived span can
+        // satisfy even when start > end, and both prune checks below stay
+        // sound for such ranges (pinned by the flow differential test).
+        let mut stats = QueryStats { segments_total: self.segs.len(), ..QueryStats::default() };
+        let mut lists: Vec<Vec<(Key, &T)>> = Vec::new();
+        for seg in &self.segs {
+            let hi = match (prune, time) {
+                (true, Some(r)) => {
+                    if seg.max_end_ns < r.start || seg.min_start() >= r.end {
+                        stats.segments_pruned += 1;
+                        continue;
+                    }
+                    seg.recs.partition_point(|rec| rec.start_ns() < r.end)
+                }
+                _ => seg.recs.len(),
+            };
+            let mut hits: Vec<(Key, &T)> = Vec::new();
+            for i in 0..hi {
+                if hits.len() >= limit {
+                    break;
+                }
+                stats.records_examined += 1;
+                let r = &seg.recs[i];
+                if matches(r) {
+                    hits.push(((r.start_ns(), seg.seqs[i]), r));
+                }
+            }
+            if !hits.is_empty() {
+                lists.push(hits);
+            }
+        }
+        let merged = merge_lists(lists, limit);
+        stats.hits = merged.len();
+        (merged, stats)
+    }
+
+    /// Retention by end timestamp: whole segments drop in O(1) each;
+    /// straddling segments filter in place. Returns records dropped.
+    pub fn retain_end_since(&mut self, cutoff_ns: u64) -> u64 {
+        let mut dropped = 0u64;
+        self.segs.retain_mut(|seg| {
+            if seg.max_end_ns < cutoff_ns {
+                dropped += seg.recs.len() as u64;
+                false
+            } else if seg.min_end_ns >= cutoff_ns {
+                true
+            } else {
+                let before = seg.recs.len();
+                let mut kept_recs = Vec::with_capacity(before);
+                let mut kept_seqs = Vec::with_capacity(before);
+                let mut min_end = u64::MAX;
+                let mut max_end = 0u64;
+                for (rec, seq) in seg.recs.drain(..).zip(seg.seqs.drain(..)) {
+                    if rec.end_ns() >= cutoff_ns {
+                        min_end = min_end.min(rec.end_ns());
+                        max_end = max_end.max(rec.end_ns());
+                        kept_recs.push(rec);
+                        kept_seqs.push(seq);
+                    }
+                }
+                dropped += (before - kept_recs.len()) as u64;
+                seg.recs = kept_recs;
+                seg.seqs = kept_seqs;
+                seg.min_end_ns = min_end;
+                seg.max_end_ns = max_end;
+                !seg.recs.is_empty()
+            }
+        });
+        dropped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered merge machinery
+// ---------------------------------------------------------------------------
+
+/// Merge per-segment hit lists (each sorted by key) into one key-ordered
+/// result. Disjoint lists — the overwhelmingly common case, since the
+/// chain seals segments in time order — concatenate; overlapping lists
+/// (out-of-order ingest) take a k-way merge.
+fn merge_lists<'a, T>(mut lists: Vec<Vec<(Key, &'a T)>>, limit: usize) -> Vec<&'a T> {
+    lists.retain(|l| !l.is_empty());
+    lists.sort_by_key(|l| l[0].0);
+    let disjoint = lists.windows(2).all(|w| w[0].last().unwrap().0 < w[1][0].0);
+    let mut out: Vec<&'a T> = if disjoint {
+        lists.into_iter().flatten().map(|(_, r)| r).collect()
+    } else {
+        let mut cursors = vec![0usize; lists.len()];
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        let mut merged = Vec::with_capacity(total.min(limit));
+        while merged.len() < limit {
+            let mut best: Option<(Key, usize)> = None;
+            for (i, l) in lists.iter().enumerate() {
+                if cursors[i] < l.len() {
+                    let k = l[cursors[i]].0;
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            merged.push(lists[i][cursors[i]].1);
+            cursors[i] += 1;
+        }
+        merged
+    };
+    out.truncate(limit);
+    out
+}
+
+/// Iterator over many sorted `(records, seqs)` parts in global
+/// `(start_ns, seq)` order. Disjoint parts stream with two cursors; the
+/// overlapping case falls back to a per-item minimum scan.
+pub struct OrderedIter<'a, T> {
+    parts: Vec<(&'a [T], &'a [u64])>,
+    disjoint: bool,
+    part: usize,
+    pos: usize,
+    cursors: Vec<usize>,
+}
+
+fn ordered_iter<'a, T: TimeSpan>(parts: Vec<(&'a [T], &'a [u64])>) -> OrderedIter<'a, T> {
+    let mut parts: Vec<(&[T], &[u64])> =
+        parts.into_iter().filter(|(r, _)| !r.is_empty()).collect();
+    parts.sort_by_key(|(r, s)| (r[0].start_ns(), s[0]));
+    let disjoint = parts.windows(2).all(|w| {
+        let (ar, aseq) = w[0];
+        let (br, bseq) = w[1];
+        (ar.last().unwrap().start_ns(), *aseq.last().unwrap()) < (br[0].start_ns(), bseq[0])
+    });
+    OrderedIter { cursors: vec![0; parts.len()], parts, disjoint, part: 0, pos: 0 }
+}
+
+impl<'a, T: TimeSpan> Iterator for OrderedIter<'a, T> {
+    /// `(seq, record)` — the sequence number that breaks timestamp ties.
+    type Item = (u64, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.disjoint {
+            while self.part < self.parts.len() {
+                let (recs, seqs) = self.parts[self.part];
+                if self.pos < recs.len() {
+                    let i = self.pos;
+                    self.pos += 1;
+                    return Some((seqs[i], &recs[i]));
+                }
+                self.part += 1;
+                self.pos = 0;
+            }
+            None
+        } else {
+            let mut best: Option<(Key, usize)> = None;
+            for (i, (recs, seqs)) in self.parts.iter().enumerate() {
+                let c = self.cursors[i];
+                if c < recs.len() {
+                    let k = (recs[c].start_ns(), seqs[c]);
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let (_, i) = best?;
+            let c = self.cursors[i];
+            self.cursors[i] += 1;
+            Some((self.parts[i].1[c], &self.parts[i].0[c]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::{Direction, TcpFlags};
+
+    fn rec(ts: u64, host: u8, dport: u16, attack: u16) -> PacketRecord {
+        PacketRecord {
+            ts_ns: ts,
+            direction: Direction::Inbound,
+            src: IpAddr::from([10, 0, 0, host]),
+            dst: IpAddr::from([203, 0, 113, 1]),
+            protocol: 17,
+            src_port: 53,
+            dst_port: dport,
+            wire_len: 100,
+            ttl: 64,
+            tcp_flags: TcpFlags::default(),
+            flow_id: 0,
+            label_app: 1,
+            label_attack: attack,
+        }
+    }
+
+    #[test]
+    fn bloom_never_false_negative() {
+        let mut b = Bloom::new();
+        for k in 0..500u64 {
+            b.insert(fx_key(&k));
+        }
+        for k in 0..500u64 {
+            assert!(b.may_contain(fx_key(&k)));
+        }
+    }
+
+    #[test]
+    fn batches_chunk_at_capacity() {
+        let mut chain = PacketChain::default();
+        let n = SEGMENT_CAPACITY * 2 + 100;
+        chain.ingest((0..n as u64).map(|i| rec(i, 1, 80, 0)).collect());
+        assert_eq!(chain.segment_count(), 3);
+        assert_eq!(chain.count(), n);
+        let stats = chain.segment_stats();
+        assert_eq!(stats[0].records, SEGMENT_CAPACITY);
+        assert_eq!(stats[2].records, 100);
+        // Bounds tile the time axis without overlap.
+        assert!(stats.windows(2).all(|w| w[0].max_ts_ns < w[1].min_ts_ns));
+    }
+
+    #[test]
+    fn small_in_order_batches_share_the_open_segment() {
+        let mut chain = PacketChain::default();
+        for i in 0..10u64 {
+            chain.ingest(vec![rec(i * 100, 1, 80, 0)]);
+        }
+        assert_eq!(chain.segment_count(), 1);
+        assert_eq!(chain.count(), 10);
+    }
+
+    #[test]
+    fn out_of_order_batch_opens_its_own_segment_and_merges_on_read() {
+        let mut chain = PacketChain::default();
+        chain.ingest(vec![rec(5_000, 1, 80, 0), rec(6_000, 2, 80, 0)]);
+        chain.ingest(vec![rec(1_000, 3, 80, 0)]);
+        assert_eq!(chain.segment_count(), 2);
+        let ts: Vec<u64> = chain.iter_seq().map(|(_, r)| r.ts_ns).collect();
+        assert_eq!(ts, vec![1_000, 5_000, 6_000]);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_capture_order() {
+        let mut chain = PacketChain::default();
+        // Two batches, all at ts=7: arrival (seq) order must survive.
+        chain.ingest(vec![rec(7, 1, 80, 0), rec(7, 2, 80, 0)]);
+        chain.ingest(vec![rec(7, 3, 80, 0)]);
+        let hosts: Vec<u8> = chain
+            .iter_seq()
+            .map(|(_, r)| match r.src {
+                IpAddr::V4(v) => v.octets()[3],
+                IpAddr::V6(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(hosts, vec![1, 2, 3]);
+        let seqs: Vec<u64> = chain.iter_seq().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retention_drops_whole_segments_cheaply() {
+        let mut chain = PacketChain::default();
+        let n = SEGMENT_CAPACITY as u64 * 3;
+        chain.ingest((0..n).map(|i| rec(i, 1, 80, 0)).collect());
+        // Cut in the middle of segment 1: segment 0 drops whole, segment 1
+        // truncates, segment 2 is untouched.
+        let cutoff = SEGMENT_CAPACITY as u64 + SEGMENT_CAPACITY as u64 / 2;
+        let dropped = chain.retain_since(cutoff);
+        assert_eq!(dropped, cutoff);
+        assert_eq!(chain.count() as u64, n - cutoff);
+        assert_eq!(chain.segment_count(), 2);
+        assert!(chain.iter_seq().all(|(_, r)| r.ts_ns >= cutoff));
+    }
+
+    #[test]
+    fn chain_query_prunes_and_agrees_with_scan() {
+        let mut chain = PacketChain::default();
+        let n = SEGMENT_CAPACITY as u64 * 4;
+        chain.ingest((0..n).map(|i| rec(i, (i % 50) as u8, (i % 7) as u16 + 440, u16::from(i % 90 == 0))).collect());
+        let q = PacketQuery::for_host("10.0.0.13".parse().unwrap())
+            .window(100, SEGMENT_CAPACITY as u64 + 200);
+        let (hits, stats) = chain.query(&q);
+        let (scan, scan_stats) = chain.scan(&q);
+        let a: Vec<u64> = hits.iter().map(|r| r.ts_ns).collect();
+        let b: Vec<u64> = scan.iter().map(|r| r.ts_ns).collect();
+        assert_eq!(a, b);
+        assert!(stats.segments_pruned >= 2, "{stats:?}");
+        assert!(stats.records_examined < scan_stats.records_examined / 10, "{stats:?} vs {scan_stats:?}");
+    }
+
+    #[test]
+    fn time_chain_prunes_by_overlap() {
+        let mut chain: TimeChain<FlowRecord> = TimeChain::default();
+        let mk = |first: u64, last: u64| FlowRecord {
+            key: campuslab_capture::FlowKey {
+                src: "10.1.1.1".parse().unwrap(),
+                dst: "203.0.113.1".parse().unwrap(),
+                protocol: 6,
+                src_port: 40_000,
+                dst_port: 443,
+            },
+            first_ts_ns: first,
+            last_ts_ns: last,
+            fwd_packets: 1,
+            fwd_bytes: 100,
+            rev_packets: 0,
+            rev_bytes: 0,
+            syn_count: 1,
+            fin_count: 0,
+            rst_count: 0,
+            mean_iat_ns: 0,
+            min_len: 60,
+            max_len: 60,
+            label_app: 1,
+            label_attack: 0,
+        };
+        chain.ingest((0..100).map(|i| mk(i * 1_000, i * 1_000 + 500)).collect());
+        let window = 10_000..20_000;
+        let (hits, _) = chain.query_overlap(Some(&window), |f| f.last_ts_ns >= window.start && f.first_ts_ns < window.end, usize::MAX, true);
+        let (scan, _) = chain.query_overlap(Some(&window), |f| f.last_ts_ns >= window.start && f.first_ts_ns < window.end, usize::MAX, false);
+        assert_eq!(hits.len(), scan.len());
+        assert!(!hits.is_empty());
+    }
+}

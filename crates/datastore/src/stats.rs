@@ -36,7 +36,7 @@ pub fn summarize(ds: &DataStore) -> StoreSummary {
         first_ts_ns: u64::MAX,
         ..Default::default()
     };
-    for r in ds.packets() {
+    for r in ds.iter_packets() {
         s.packets += 1;
         s.bytes += u64::from(r.wire_len);
         if r.is_malicious() {
@@ -56,7 +56,7 @@ pub fn summarize(ds: &DataStore) -> StoreSummary {
 /// The `n` hosts moving the most bytes (either direction), descending.
 pub fn top_talkers(ds: &DataStore, n: usize) -> Vec<(IpAddr, u64)> {
     let mut bytes: HashMap<IpAddr, u64> = HashMap::new();
-    for r in ds.packets() {
+    for r in ds.iter_packets() {
         *bytes.entry(r.src).or_insert(0) += u64::from(r.wire_len);
         *bytes.entry(r.dst).or_insert(0) += u64::from(r.wire_len);
     }
@@ -69,7 +69,7 @@ pub fn top_talkers(ds: &DataStore, n: usize) -> Vec<(IpAddr, u64)> {
 /// Per-second byte volume histogram over the captured span.
 pub fn volume_per_second(ds: &DataStore) -> Vec<(u64, u64)> {
     let mut buckets: HashMap<u64, u64> = HashMap::new();
-    for r in ds.packets() {
+    for r in ds.iter_packets() {
         *buckets.entry(r.ts_ns / 1_000_000_000).or_insert(0) += u64::from(r.wire_len);
     }
     let mut v: Vec<(u64, u64)> = buckets.into_iter().collect();

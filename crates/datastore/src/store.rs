@@ -1,10 +1,27 @@
-//! The data store: time-ordered tables with secondary indexes, retention
-//! and storage accounting — "a single platform for collecting, storing,
-//! indexing, mining, and visualizing network data" (paper §5).
+//! The data store: time-partitioned segment chains with secondary
+//! indexes, retention and storage accounting — "a single platform for
+//! collecting, storing, indexing, mining, and visualizing network data"
+//! (paper §5).
+//!
+//! Physical layout lives in [`crate::segment`]; this module is the policy
+//! layer: which chain a record lands in, which plan a query takes, and the
+//! Observatory bookkeeping ([`crate::StoreObs`]) around both.
+//!
+//! ## Ordering contract
+//!
+//! Every table is globally ordered by `(timestamp, seq)` where `seq` is
+//! the ingest sequence number. Records with equal timestamps therefore
+//! keep capture order, deterministically — ingest never silently reorders
+//! ties (pinned by `tests/segments.rs`). Parallel batch ingest
+//! ([`DataStore::ingest_packet_batches`]) pre-assigns each batch its seq
+//! range before fanning out, so the store it builds is byte-identical to
+//! the sequential one (pinned by `tests/par_ingest.rs`).
 
-use crate::query::{FlowQuery, PacketQuery};
-use campuslab_capture::{DnsMetaRecord, FlowRecord, FxHashMap, PacketRecord, SensorRecord};
-use std::net::IpAddr;
+use crate::observe::StoreObs;
+use crate::query::{FlowQuery, PacketQuery, QueryStats};
+use crate::segment::{OrderedIter, PacketChain, SegmentStats, TimeChain};
+use campuslab_capture::{DnsMetaRecord, FlowRecord, PacketRecord, SensorRecord};
+use campuslab_netsim::par;
 
 /// Approximate serialized sizes for storage accounting.
 const PACKET_RECORD_BYTES: u64 = 96;
@@ -24,21 +41,19 @@ pub struct StorageReport {
 
 /// The campus data store.
 ///
-/// Packets keep three secondary indexes — by host (either endpoint), by
-/// destination port, and by attack label — all storing positions into the
-/// time-sorted packet table, so index hits come back in time order and
-/// range predicates stay cheap.
+/// Each table is a chain of time-partitioned segments. Packet segments
+/// carry per-host and per-port Bloom membership summaries plus exact
+/// postings, so an indexed query plans as *prune segments → binary-search
+/// window → filter* and reports its work in [`QueryStats`]. Retention
+/// truncates whole segments instead of compacting flat tables.
 #[derive(Debug, Default)]
 pub struct DataStore {
-    packets: Vec<PacketRecord>,
-    flows: Vec<FlowRecord>,
-    dns: Vec<DnsMetaRecord>,
-    sensors: Vec<SensorRecord>,
-    by_host: FxHashMap<IpAddr, Vec<u32>>,
-    by_port: FxHashMap<u16, Vec<u32>>,
-    by_attack: Vec<u32>,
-    /// Packet-table positions `< indexed_upto` are covered by the indexes.
-    indexed_upto: usize,
+    packets: PacketChain,
+    flows: TimeChain<FlowRecord>,
+    dns: TimeChain<DnsMetaRecord>,
+    sensors: TimeChain<SensorRecord>,
+    /// Observatory surface; public so runs can merge or render it.
+    pub obs: StoreObs,
 }
 
 impl DataStore {
@@ -47,194 +62,201 @@ impl DataStore {
         Self::default()
     }
 
+    fn publish_segment_gauges(&mut self) {
+        self.obs.set_segments(self.packets.segment_count(), self.flows.segment_count());
+    }
+
     /// Ingest a batch of packet records. Batches may arrive unsorted; the
-    /// table is re-sorted and indexes rebuilt when needed.
-    pub fn ingest_packets(&mut self, mut batch: Vec<PacketRecord>) {
+    /// batch is sorted by `(ts_ns, seq)` — equal timestamps keep their
+    /// in-batch (capture) order — and lands as segment appends, never by
+    /// re-sorting the whole table.
+    pub fn ingest_packets(&mut self, batch: Vec<PacketRecord>) {
         if batch.is_empty() {
             return;
         }
-        batch.sort_by_key(|r| r.ts_ns);
-        let in_order = self
-            .packets
-            .last()
-            .map(|last| batch[0].ts_ns >= last.ts_ns)
-            .unwrap_or(true);
-        self.packets.extend(batch);
-        if !in_order {
-            self.packets.sort_by_key(|r| r.ts_ns);
-            self.rebuild_indexes();
-        } else {
-            for i in self.indexed_upto..self.packets.len() {
-                Self::index_one(
-                    &mut self.by_host,
-                    &mut self.by_port,
-                    &mut self.by_attack,
-                    &self.packets[i],
-                    i as u32,
-                );
+        self.obs.on_ingest_packets(batch.len() as u64);
+        self.packets.ingest(batch);
+        self.publish_segment_gauges();
+    }
+
+    /// Ingest many packet batches, sharding segment construction across
+    /// worker threads (see [`par::worker_count`]). The resulting store —
+    /// reports, query results, segment layout — is byte-identical at any
+    /// worker count.
+    pub fn ingest_packet_batches(&mut self, batches: Vec<Vec<PacketRecord>>) {
+        let workers = par::worker_count(batches.len());
+        self.ingest_packet_batches_with(batches, workers);
+    }
+
+    /// [`DataStore::ingest_packet_batches`] with an explicit worker count.
+    pub fn ingest_packet_batches_with(&mut self, batches: Vec<Vec<PacketRecord>>, workers: usize) {
+        for b in &batches {
+            if !b.is_empty() {
+                self.obs.on_ingest_packets(b.len() as u64);
             }
-            self.indexed_upto = self.packets.len();
         }
-    }
-
-    fn index_one(
-        by_host: &mut FxHashMap<IpAddr, Vec<u32>>,
-        by_port: &mut FxHashMap<u16, Vec<u32>>,
-        by_attack: &mut Vec<u32>,
-        rec: &PacketRecord,
-        pos: u32,
-    ) {
-        by_host.entry(rec.src).or_default().push(pos);
-        if rec.dst != rec.src {
-            by_host.entry(rec.dst).or_default().push(pos);
-        }
-        by_port.entry(rec.dst_port).or_default().push(pos);
-        if rec.is_malicious() {
-            by_attack.push(pos);
-        }
-    }
-
-    fn rebuild_indexes(&mut self) {
-        self.by_host.clear();
-        self.by_port.clear();
-        self.by_attack.clear();
-        for (i, rec) in self.packets.iter().enumerate() {
-            Self::index_one(
-                &mut self.by_host,
-                &mut self.by_port,
-                &mut self.by_attack,
-                rec,
-                i as u32,
-            );
-        }
-        self.indexed_upto = self.packets.len();
+        self.packets.ingest_batches(batches, workers);
+        self.publish_segment_gauges();
     }
 
     /// Ingest flow records.
-    pub fn ingest_flows(&mut self, mut batch: Vec<FlowRecord>) {
-        self.flows.append(&mut batch);
-        self.flows.sort_by_key(|f| f.first_ts_ns);
+    pub fn ingest_flows(&mut self, batch: Vec<FlowRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.obs.on_ingest_flows(batch.len() as u64);
+        self.flows.ingest(batch);
+        self.publish_segment_gauges();
     }
 
     /// Ingest DNS metadata records.
-    pub fn ingest_dns(&mut self, mut batch: Vec<DnsMetaRecord>) {
-        self.dns.append(&mut batch);
-        self.dns.sort_by_key(|d| d.ts_ns);
+    pub fn ingest_dns(&mut self, batch: Vec<DnsMetaRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.obs.on_ingest_dns(batch.len() as u64);
+        self.dns.ingest(batch);
     }
 
     /// Ingest sensor events.
-    pub fn ingest_sensors(&mut self, mut batch: Vec<SensorRecord>) {
-        self.sensors.append(&mut batch);
-        self.sensors.sort_by_key(|s| s.ts_ns());
+    pub fn ingest_sensors(&mut self, batch: Vec<SensorRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.obs.on_ingest_sensors(batch.len() as u64);
+        self.sensors.ingest(batch);
     }
 
-    /// All packet records, time-ordered.
-    pub fn packets(&self) -> &[PacketRecord] {
-        &self.packets
+    /// Packet records in the store.
+    pub fn packet_count(&self) -> usize {
+        self.packets.count()
     }
 
-    /// All flow records, ordered by start time.
-    pub fn flows(&self) -> &[FlowRecord] {
-        &self.flows
+    /// Flow records in the store.
+    pub fn flow_count(&self) -> usize {
+        self.flows.count()
     }
 
-    /// All DNS metadata records, time-ordered.
-    pub fn dns(&self) -> &[DnsMetaRecord] {
-        &self.dns
+    /// DNS metadata records in the store.
+    pub fn dns_count(&self) -> usize {
+        self.dns.count()
     }
 
-    /// All sensor events, time-ordered.
-    pub fn sensors(&self) -> &[SensorRecord] {
-        &self.sensors
+    /// Sensor events in the store.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.count()
+    }
+
+    /// Live segments in the packet chain.
+    pub fn packet_segment_count(&self) -> usize {
+        self.packets.segment_count()
+    }
+
+    /// Shape of every packet segment, in chain order.
+    pub fn packet_segment_stats(&self) -> Vec<SegmentStats> {
+        self.packets.segment_stats()
+    }
+
+    /// All packet records in global `(ts_ns, seq)` order.
+    pub fn iter_packets(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.packets.iter_seq().map(|(_, r)| r)
+    }
+
+    /// Like [`DataStore::iter_packets`] but yielding `(seq, record)`, for
+    /// callers that need the tie-breaking sequence number.
+    pub fn iter_packets_seq(&self) -> OrderedIter<'_, PacketRecord> {
+        self.packets.iter_seq()
+    }
+
+    /// All flow records in `(first_ts_ns, seq)` order.
+    pub fn iter_flows(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter_seq().map(|(_, r)| r)
+    }
+
+    /// All DNS metadata records in `(ts_ns, seq)` order.
+    pub fn iter_dns(&self) -> impl Iterator<Item = &DnsMetaRecord> {
+        self.dns.iter_seq().map(|(_, r)| r)
+    }
+
+    /// All sensor events in `(ts_ns, seq)` order.
+    pub fn iter_sensors(&self) -> impl Iterator<Item = &SensorRecord> {
+        self.sensors.iter_seq().map(|(_, r)| r)
     }
 
     /// Index-accelerated packet query.
     pub fn query_packets(&self, q: &PacketQuery) -> Vec<&PacketRecord> {
-        // An inverted or empty window matches nothing; bail before the
-        // binary-search slicing below, which would otherwise compute
-        // lo > hi and panic on the slice. Queries are untrusted input.
-        if q.time_ns.as_ref().is_some_and(|r| r.start >= r.end) {
-            return Vec::new();
-        }
-        let limit = q.limit.unwrap_or(usize::MAX);
-        // Plan: prefer the most selective available index.
-        let candidates: Option<&[u32]> = if let Some(h) = q.host.or(q.src).or(q.dst) {
-            Some(self.by_host.get(&h).map(|v| v.as_slice()).unwrap_or(&[]))
-        } else if let Some(p) = q.dst_port {
-            Some(self.by_port.get(&p).map(|v| v.as_slice()).unwrap_or(&[]))
-        } else if q.malicious_only {
-            Some(&self.by_attack)
-        } else {
-            None
-        };
-        match candidates {
-            Some(idx) => {
-                // Index vectors are position-sorted = time-sorted, so a
-                // time range can prune with binary search.
-                let slice = match &q.time_ns {
-                    Some(range) => {
-                        let lo = idx.partition_point(|&i| {
-                            self.packets[i as usize].ts_ns < range.start
-                        });
-                        let hi = idx.partition_point(|&i| {
-                            self.packets[i as usize].ts_ns < range.end
-                        });
-                        &idx[lo..hi]
-                    }
-                    None => idx,
-                };
-                slice
-                    .iter()
-                    .map(|&i| &self.packets[i as usize])
-                    .filter(|r| q.matches(r))
-                    .take(limit)
-                    .collect()
-            }
-            None => {
-                let slice = match &q.time_ns {
-                    Some(range) => {
-                        let lo = self.packets.partition_point(|r| r.ts_ns < range.start);
-                        let hi = self.packets.partition_point(|r| r.ts_ns < range.end);
-                        &self.packets[lo..hi]
-                    }
-                    None => &self.packets[..],
-                };
-                slice.iter().filter(|r| q.matches(r)).take(limit).collect()
-            }
-        }
+        self.packets.query(q).0
     }
 
-    /// Full-scan packet query — the baseline experiment E3 compares the
-    /// indexes against.
+    /// [`DataStore::query_packets`] plus its [`QueryStats`].
+    pub fn query_packets_with_stats(&self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        self.packets.query(q)
+    }
+
+    /// Indexed query that also records itself in the store's Observatory.
+    pub fn query_packets_observed(&mut self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        // Split-borrow: run the query on the chain field, book-keep on the
+        // obs field, then hand out the borrows.
+        let (hits, stats) = self.packets.query(q);
+        // `hits` borrows `self.packets`; `self.obs` is a disjoint field.
+        self.obs.on_query(true, &stats);
+        (hits, stats)
+    }
+
+    /// Full-scan packet query — the baseline experiment E3 and the
+    /// differential test suite compare the indexes against.
     pub fn scan_packets(&self, q: &PacketQuery) -> Vec<&PacketRecord> {
-        let limit = q.limit.unwrap_or(usize::MAX);
-        self.packets.iter().filter(|r| q.matches(r)).take(limit).collect()
+        self.packets.scan(q).0
     }
 
-    /// Flow query (scan with time pruning).
+    /// [`DataStore::scan_packets`] plus its [`QueryStats`].
+    pub fn scan_packets_with_stats(&self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        self.packets.scan(q)
+    }
+
+    /// Full-scan query that also records itself in the store's Observatory.
+    pub fn scan_packets_observed(&mut self, q: &PacketQuery) -> (Vec<&PacketRecord>, QueryStats) {
+        let (hits, stats) = self.packets.scan(q);
+        self.obs.on_query(false, &stats);
+        (hits, stats)
+    }
+
+    /// Flow query with segment-level overlap pruning.
     pub fn query_flows(&self, q: &FlowQuery) -> Vec<&FlowRecord> {
+        self.query_flows_with_stats(q).0
+    }
+
+    /// [`DataStore::query_flows`] plus its [`QueryStats`].
+    pub fn query_flows_with_stats(&self, q: &FlowQuery) -> (Vec<&FlowRecord>, QueryStats) {
         let limit = q.limit.unwrap_or(usize::MAX);
-        self.flows.iter().filter(|f| q.matches(f)).take(limit).collect()
+        self.flows.query_overlap(q.time_ns.as_ref(), |f| q.matches(f), limit, true)
+    }
+
+    /// Full-scan flow query — the differential baseline for
+    /// [`DataStore::query_flows`].
+    pub fn scan_flows(&self, q: &FlowQuery) -> Vec<&FlowRecord> {
+        let limit = q.limit.unwrap_or(usize::MAX);
+        self.flows.query_overlap(q.time_ns.as_ref(), |f| q.matches(f), limit, false).0
     }
 
     /// Drop all records older than `cutoff_ns` (retention enforcement).
+    /// Whole segments fall off the chain in O(1) each; only segments
+    /// straddling the cutoff pay a rebuild — O(segments), not O(records).
     pub fn retain_since(&mut self, cutoff_ns: u64) {
-        let cut = self.packets.partition_point(|r| r.ts_ns < cutoff_ns);
-        if cut > 0 {
-            self.packets.drain(..cut);
-            self.rebuild_indexes();
-        }
-        self.flows.retain(|f| f.last_ts_ns >= cutoff_ns);
-        self.dns.retain(|d| d.ts_ns >= cutoff_ns);
-        self.sensors.retain(|s| s.ts_ns() >= cutoff_ns);
+        let mut dropped = self.packets.retain_since(cutoff_ns);
+        dropped += self.flows.retain_end_since(cutoff_ns);
+        dropped += self.dns.retain_end_since(cutoff_ns);
+        dropped += self.sensors.retain_end_since(cutoff_ns);
+        self.obs.on_retired(dropped);
+        self.publish_segment_gauges();
     }
 
     /// Approximate storage footprint.
     pub fn storage(&self) -> StorageReport {
-        let packet_records = self.packets.len() as u64;
-        let flow_records = self.flows.len() as u64;
-        let dns_records = self.dns.len() as u64;
-        let sensor_records = self.sensors.len() as u64;
+        let packet_records = self.packet_count() as u64;
+        let flow_records = self.flow_count() as u64;
+        let dns_records = self.dns_count() as u64;
+        let sensor_records = self.sensor_count() as u64;
         StorageReport {
             packet_records,
             flow_records,
@@ -252,6 +274,7 @@ impl DataStore {
 mod tests {
     use super::*;
     use campuslab_capture::{Direction, TcpFlags};
+    use std::net::IpAddr;
 
     fn rec(ts: u64, src: [u8; 4], dst: [u8; 4], dport: u16, attack: u16) -> PacketRecord {
         PacketRecord {
@@ -310,7 +333,7 @@ mod tests {
         let mut ds = DataStore::new();
         ds.ingest_packets(vec![rec(5_000, [1, 1, 1, 1], [2, 2, 2, 2], 80, 0)]);
         ds.ingest_packets(vec![rec(1_000, [1, 1, 1, 1], [2, 2, 2, 2], 80, 0)]);
-        let ts: Vec<u64> = ds.packets().iter().map(|r| r.ts_ns).collect();
+        let ts: Vec<u64> = ds.iter_packets().map(|r| r.ts_ns).collect();
         assert_eq!(ts, vec![1_000, 5_000]);
         // Indexes still agree with a scan after the reorder.
         let q = PacketQuery::for_host("1.1.1.1".parse().unwrap());
@@ -325,13 +348,14 @@ mod tests {
     }
 
     #[test]
-    fn retention_drops_old_records_and_reindexes() {
+    fn retention_drops_old_records_and_stays_consistent() {
         let mut ds = populated();
         let before = ds.storage();
         ds.retain_since(500_000);
         let after = ds.storage();
         assert!(after.packet_records < before.packet_records);
         assert_eq!(after.packet_records, 500);
+        assert_eq!(ds.obs.retired_records(), 500);
         // Queries remain consistent post-retention.
         let q = PacketQuery::default().malicious();
         let idx: Vec<u64> = ds.query_packets(&q).iter().map(|r| r.ts_ns).collect();
@@ -355,6 +379,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // inverted windows are the point
     fn inverted_or_empty_time_window_returns_empty_not_panic() {
         let ds = populated();
         // start > end (inverted) used to slice with lo > hi and abort.
@@ -367,6 +392,8 @@ mod tests {
             assert!(ds.query_packets(&q).is_empty(), "{q:?}");
             assert!(ds.scan_packets(&q).is_empty(), "{q:?}");
         }
+        let inverted = FlowQuery { time_ns: Some(10..5), ..Default::default() };
+        assert!(ds.query_flows(&inverted).is_empty());
     }
 
     #[test]
@@ -376,5 +403,48 @@ mod tests {
         let hits = ds.query_packets(&q);
         assert_eq!(hits.len(), 10);
         assert!(hits.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn observed_queries_book_into_obs() {
+        let mut ds = populated();
+        let q = PacketQuery::for_host("10.1.1.7".parse().unwrap());
+        let (hits, stats) = ds.query_packets_observed(&q);
+        assert_eq!(stats.hits, hits.len());
+        let (_, scan_stats) = ds.scan_packets_observed(&q);
+        assert_eq!(ds.obs.queries_indexed(), 1);
+        assert_eq!(ds.obs.queries_scan(), 1);
+        assert!(stats.records_examined <= scan_stats.records_examined);
+        assert_eq!(ds.obs.ingested_packets(), 1000);
+        assert_eq!(ds.obs.packet_segments(), ds.packet_segment_count() as i64);
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_ingest() {
+        let batches: Vec<Vec<PacketRecord>> = (0..8u64)
+            .map(|b| {
+                (0..300u64)
+                    .map(|i| {
+                        rec(
+                            b * 300_000 + i * 1000,
+                            [10, 1, 1, (i % 40) as u8],
+                            [203, 0, 113, 1],
+                            443,
+                            0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut seq = DataStore::new();
+        for b in batches.clone() {
+            seq.ingest_packets(b);
+        }
+        let mut par = DataStore::new();
+        par.ingest_packet_batches_with(batches, 4);
+        assert_eq!(seq.storage(), par.storage());
+        let a: Vec<&PacketRecord> = seq.iter_packets().collect();
+        let b: Vec<&PacketRecord> = par.iter_packets().collect();
+        assert_eq!(a, b);
     }
 }

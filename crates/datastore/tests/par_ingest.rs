@@ -1,0 +1,104 @@
+//! Determinism gate for parallel batch ingest, mirroring netsim's
+//! `fastpath.rs` contract: worker count changes wall-clock time only.
+//! Sequential (1 worker) and parallel (4, 7 workers) batch ingest must
+//! produce byte-identical stores — same `StorageReport`, same segment
+//! layout, same query results, same Observatory render.
+
+use campuslab_capture::{Direction, PacketRecord, TcpFlags};
+use campuslab_datastore::{DataStore, PacketQuery};
+use proptest::{collection, proptest, ProptestConfig};
+use std::net::IpAddr;
+
+fn packet(ts: u64, tag: u32) -> PacketRecord {
+    PacketRecord {
+        ts_ns: ts,
+        direction: if tag.is_multiple_of(2) { Direction::Inbound } else { Direction::Outbound },
+        src: IpAddr::from([10, (tag >> 16) as u8, (tag >> 8) as u8, tag as u8]),
+        dst: IpAddr::from([203, 0, 113, (tag % 20) as u8]),
+        protocol: if tag.is_multiple_of(3) { 17 } else { 6 },
+        src_port: (tag % 60_000) as u16,
+        dst_port: [443, 80, 53][(tag % 3) as usize],
+        wire_len: 60 + tag % 1200,
+        ttl: 64,
+        tcp_flags: TcpFlags::default(),
+        flow_id: u64::from(tag) / 16,
+        label_app: (tag % 5) as u16,
+        label_attack: u16::from(tag.is_multiple_of(33)),
+    }
+}
+
+fn build(batches: &[Vec<PacketRecord>], workers: usize) -> DataStore {
+    let mut ds = DataStore::new();
+    ds.ingest_packet_batches_with(batches.to_vec(), workers);
+    ds
+}
+
+fn assert_identical(a: &DataStore, b: &DataStore, label: &str) {
+    assert_eq!(a.storage(), b.storage(), "{label}: StorageReport differs");
+    assert_eq!(
+        a.packet_segment_stats(),
+        b.packet_segment_stats(),
+        "{label}: segment layout differs"
+    );
+    assert!(a.iter_packets().eq(b.iter_packets()), "{label}: record streams differ");
+    assert_eq!(a.obs.render(), b.obs.render(), "{label}: Observatory renders differ");
+    for q in [
+        PacketQuery::for_host("10.0.1.7".parse().unwrap()),
+        PacketQuery::default().port(53),
+        PacketQuery::default().malicious(),
+        PacketQuery::in_window(40_000, 900_000),
+    ] {
+        let ra: Vec<&PacketRecord> = a.query_packets(&q);
+        let rb: Vec<&PacketRecord> = b.query_packets(&q);
+        assert_eq!(ra, rb, "{label}: query results differ for {q:?}");
+        let (_, sa) = a.query_packets_with_stats(&q);
+        let (_, sb) = b.query_packets_with_stats(&q);
+        assert_eq!(sa, sb, "{label}: query stats differ for {q:?}");
+    }
+}
+
+#[test]
+fn parallel_batch_ingest_is_byte_identical_to_sequential() {
+    // Batches big enough to split into multiple segments each, with
+    // interleaved time ranges so chains must merge on read.
+    let batches: Vec<Vec<PacketRecord>> = (0..6u64)
+        .map(|b| {
+            (0..9_000u64)
+                .map(|i| packet(b * 50_000 + i * 37 % 800_000, (b * 9_000 + i) as u32))
+                .collect()
+        })
+        .collect();
+    let seq = build(&batches, 1);
+    for workers in [2, 4, 7] {
+        let par = build(&batches, workers);
+        assert_identical(&seq, &par, &format!("workers={workers}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_batches_are_worker_count_invariant(
+        sizes in collection::vec(0usize..2_500, 1..=6),
+        bases in collection::vec(0u64..500_000, 6),
+        workers in 2usize..8,
+    ) {
+        let mut tag = 0u32;
+        let batches: Vec<Vec<PacketRecord>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(bi, &sz)| {
+                (0..sz)
+                    .map(|i| {
+                        tag = tag.wrapping_add(1);
+                        packet(bases[bi % bases.len()] + (i as u64 * 13) % 40_000, tag)
+                    })
+                    .collect()
+            })
+            .collect();
+        let seq = build(&batches, 1);
+        let par = build(&batches, workers);
+        assert_identical(&seq, &par, &format!("workers={workers}"));
+    }
+}

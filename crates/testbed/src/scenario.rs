@@ -161,12 +161,30 @@ pub fn collect(scenario: &Scenario) -> CollectedData {
 }
 
 /// Land collected data in a fresh data store (the Figure-1 ingest path).
+/// Packets go through the sharded batch-ingest path — one batch per
+/// capture second — which builds segments on parallel workers yet yields
+/// a byte-identical store at any worker count.
 pub fn build_store(data: &CollectedData) -> DataStore {
     let mut ds = DataStore::new();
-    ds.ingest_packets(data.packets.clone());
+    ds.ingest_packet_batches(shard_by_second(&data.packets));
     ds.ingest_flows(data.flows.clone());
     ds.ingest_dns(data.dns.clone());
     ds
+}
+
+/// Split a capture into per-second batches (capture order preserved
+/// within each batch), the unit the parallel ingest path shards over.
+fn shard_by_second(packets: &[PacketRecord]) -> Vec<Vec<PacketRecord>> {
+    let mut batches: Vec<Vec<PacketRecord>> = Vec::new();
+    for p in packets {
+        let sec = (p.ts_ns / 1_000_000_000) as usize;
+        if batches.len() <= sec {
+            batches.resize_with(sec + 1, Vec::new);
+        }
+        batches[sec].push(p.clone());
+    }
+    batches.retain(|b| !b.is_empty());
+    batches
 }
 
 #[cfg(test)]
@@ -193,13 +211,29 @@ mod tests {
     fn store_round_trip_preserves_counts() {
         let data = collect(&Scenario::small());
         let ds = build_store(&data);
-        assert_eq!(ds.packets().len(), data.packets.len());
-        assert_eq!(ds.flows().len(), data.flows.len());
-        assert_eq!(ds.dns().len(), data.dns.len());
+        assert_eq!(ds.packet_count(), data.packets.len());
+        assert_eq!(ds.flow_count(), data.flows.len());
+        assert_eq!(ds.dns_count(), data.dns.len());
+        // The store's own Observatory saw the ingest.
+        assert_eq!(ds.obs.ingested_packets(), data.packets.len() as u64);
+        assert_eq!(ds.obs.packet_segments(), ds.packet_segment_count() as i64);
         // The victim's inbound flood is findable by index.
         let victim = std::net::IpAddr::V4(data.victim.unwrap());
         let hits = ds.query_packets(&campuslab_datastore::PacketQuery::for_host(victim));
         assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn build_store_is_worker_count_invariant() {
+        let data = collect(&Scenario::small());
+        let batches = shard_by_second(&data.packets);
+        let mut seq = DataStore::new();
+        seq.ingest_packet_batches_with(batches.clone(), 1);
+        let mut par = DataStore::new();
+        par.ingest_packet_batches_with(batches, 4);
+        assert_eq!(seq.storage(), par.storage());
+        assert_eq!(seq.packet_segment_stats(), par.packet_segment_stats());
+        assert!(seq.iter_packets().eq(par.iter_packets()));
     }
 
     #[test]

@@ -28,8 +28,8 @@ fn main() {
     println!(
         "[search] {} packet records, {} flows, {} DNS transactions in store",
         summary.packets,
-        store.flows().len(),
-        store.dns().len()
+        store.flow_count(),
+        store.dns_count()
     );
     let victim = std::net::IpAddr::V4(data.victim.expect("victim"));
     let hits = store.query_packets(&PacketQuery::for_host(victim).malicious());
@@ -41,7 +41,7 @@ fn main() {
 
     // --- 2. Streaming heavy hitters (constant memory) ----------------------
     let mut hh = HeavyHitters::new(5, 1024, 4);
-    for rec in store.packets() {
+    for rec in store.iter_packets() {
         hh.add(rec.dst, u64::from(rec.wire_len));
     }
     println!("\n[sketch] heavy hitters from a 1024x4 count-min sketch:");
@@ -57,7 +57,7 @@ fn main() {
     println!(
         "\n[persist] store serialized to {} bytes and reloaded: {} records, indexes rebuilt",
         buf.len(),
-        reloaded.packets().len()
+        reloaded.packet_count()
     );
     assert_eq!(
         reloaded.query_packets(&PacketQuery::for_host(victim)).len(),
