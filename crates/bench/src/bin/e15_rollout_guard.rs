@@ -1,0 +1,4 @@
+//! Regenerates the `e15_rollout_guard` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e15_rollout_guard::run());
+}

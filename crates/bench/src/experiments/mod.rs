@@ -17,3 +17,4 @@ pub mod e11_resilience;
 pub mod e12_multiclass;
 pub mod e13_perf_pinpoint;
 pub mod e14_chaos;
+pub mod e15_rollout_guard;

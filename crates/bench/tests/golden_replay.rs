@@ -47,3 +47,8 @@ fn e7_cross_campus_replays_byte_for_byte() {
 fn e14_chaos_sweep_replays_byte_for_byte() {
     replay("E14", include_str!("../golden/E14.golden"));
 }
+
+#[test]
+fn e15_rollout_guard_replays_byte_for_byte() {
+    replay("E15", include_str!("../golden/E15.golden"));
+}

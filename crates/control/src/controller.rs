@@ -8,6 +8,7 @@
 use crate::detector::{Detection, StreamingWindowDetector};
 use crate::fastloop::FastLoopStats;
 use crate::observe::{ControllerObs, DetectorObs};
+use crate::rollout::{CircuitBreaker, CircuitBreakerPolicy};
 use campuslab_obs::OpenSpan;
 use campuslab_capture::{Direction, PacketRecord};
 use campuslab_dataplane::{Action, FieldExtractor, PipelineProgram, PipelineRuntime};
@@ -41,8 +42,33 @@ impl Placement {
     }
 }
 
+/// Which traffic a bank entry applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramScope {
+    /// Every packet through the bank.
+    Global,
+    /// Only traffic to one victim host (the mitigation case).
+    Victim(IpAddr),
+    /// Only traffic to a fixed destination cohort (the canary case).
+    /// Kept sorted for deterministic lookup.
+    AnyOf(Vec<IpAddr>),
+}
+
+impl ProgramScope {
+    fn admits(&self, dst: IpAddr) -> bool {
+        match self {
+            ProgramScope::Global => true,
+            ProgramScope::Victim(v) => *v == dst,
+            ProgramScope::AnyOf(hosts) => hosts.binary_search(&dst).is_ok(),
+        }
+    }
+}
+
 struct BankEntry {
-    scope: Option<IpAddr>,
+    scope: ProgramScope,
+    /// Content identity of the installed program, so a rollback can
+    /// remove exactly the candidate's entries.
+    fingerprint: u64,
     runtime: PipelineRuntime,
 }
 
@@ -62,10 +88,23 @@ pub struct BankHandle {
 impl BankHandle {
     /// Insert a program, optionally scoped to one destination.
     pub fn add_program(&self, scope: Option<IpAddr>, program: PipelineProgram) {
+        let scope = match scope {
+            Some(victim) => ProgramScope::Victim(victim),
+            None => ProgramScope::Global,
+        };
+        self.install(scope, program);
+    }
+
+    /// Insert a program under an explicit scope.
+    pub fn install(&self, mut scope: ProgramScope, program: PipelineProgram) {
+        if let ProgramScope::AnyOf(hosts) = &mut scope {
+            hosts.sort_unstable();
+        }
+        let fingerprint = program.fingerprint();
         self.shared
             .lock()
             .entries
-            .push(BankEntry { scope, runtime: program.into_runtime() });
+            .push(BankEntry { scope, fingerprint, runtime: program.into_runtime() });
     }
 
     /// Remove every rule scoped to `victim` (attack over).
@@ -73,7 +112,21 @@ impl BankHandle {
         self.shared
             .lock()
             .entries
-            .retain(|e| e.scope != Some(victim));
+            .retain(|e| e.scope != ProgramScope::Victim(victim));
+    }
+
+    /// Remove every entry carrying this program fingerprint (rollback).
+    /// Returns how many entries left the bank.
+    pub fn remove_fingerprint(&self, fingerprint: u64) -> usize {
+        let mut state = self.shared.lock();
+        let before = state.entries.len();
+        state.entries.retain(|e| e.fingerprint != fingerprint);
+        before - state.entries.len()
+    }
+
+    /// True when an entry with this program fingerprint is installed.
+    pub fn has_fingerprint(&self, fingerprint: u64) -> bool {
+        self.shared.lock().entries.iter().any(|e| e.fingerprint == fingerprint)
     }
 
     /// Number of installed programs.
@@ -163,10 +216,8 @@ impl PacketFilter for BankFilter {
         let state = &mut *state;
         let wire_len = packet.wire_len() as u32;
         for entry in &mut state.entries {
-            if let Some(scope) = entry.scope {
-                if scope != dst {
-                    continue;
-                }
+            if !entry.scope.admits(dst) {
+                continue;
             }
             if entry.runtime.process_at(now.as_nanos(), &fields, wire_len) == Action::Drop {
                 verdict = FilterAction::Drop;
@@ -203,8 +254,21 @@ pub struct MitigationEvent {
     pub attempts: u32,
 }
 
-/// A detection the controller gave up on: every install attempt flaked and
-/// the retry budget or timeout ran out.
+/// Why the controller abandoned a detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GiveUpReason {
+    /// The retry budget ran out.
+    Exhausted,
+    /// The per-detection timeout would be exceeded before the next retry.
+    Timeout,
+    /// The install-channel circuit breaker was open.
+    CircuitOpen,
+}
+
+/// A detection the controller gave up on: every install attempt flaked
+/// and the retry budget or timeout ran out — or the circuit breaker
+/// refused to send more. Never silently dropped: the rollout guard
+/// treats each of these as a rollback-eligible failure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstallGiveUp {
     pub victim: IpAddr,
@@ -212,6 +276,8 @@ pub struct InstallGiveUp {
     pub gave_up_at: SimTime,
     /// Attempts spent before giving up.
     pub attempts: u32,
+    /// Which limit ended the episode.
+    pub reason: GiveUpReason,
 }
 
 /// Reliability model for the controller→switch install channel, with the
@@ -232,6 +298,11 @@ pub struct InstallPolicy {
     /// Seed for the install-flake RNG — independent of the network RNG so
     /// chaos in the control channel never perturbs the data plane.
     pub seed: u64,
+    /// Optional circuit breaker over the install channel: after a streak
+    /// of consecutive failures the controller stops hammering the switch
+    /// and sheds episodes with a typed give-up instead. `None` (the
+    /// default) preserves the plain retry discipline exactly.
+    pub breaker: Option<CircuitBreakerPolicy>,
 }
 
 impl Default for InstallPolicy {
@@ -243,6 +314,7 @@ impl Default for InstallPolicy {
             max_backoff: SimDuration::from_millis(100),
             timeout: SimDuration::from_secs(2),
             seed: 0x1257A11,
+            breaker: None,
         }
     }
 }
@@ -293,6 +365,8 @@ pub struct MitigationController {
     pending: HashMap<u64, PendingInstall>,
     next_token: u64,
     install_rng: rand::rngs::StdRng,
+    /// Circuit breaker over the install channel, when policy asks for one.
+    breaker: Option<CircuitBreaker>,
     /// Completed episodes.
     pub events: Vec<MitigationEvent>,
     /// Detections abandoned after the retry budget/timeout ran out.
@@ -327,6 +401,7 @@ impl MitigationController {
             detector.announce_gap(w.from.as_nanos(), w.until.as_nanos());
         }
         let install_rng = rand::SeedableRng::seed_from_u64(cfg.install.seed);
+        let breaker = cfg.install.breaker.map(CircuitBreaker::new);
         MitigationController {
             cfg,
             detector,
@@ -334,6 +409,7 @@ impl MitigationController {
             pending: HashMap::new(),
             next_token: 0,
             install_rng,
+            breaker,
             events: Vec::new(),
             giveups: Vec::new(),
             obs: ControllerObs::new(),
@@ -343,6 +419,11 @@ impl MitigationController {
     /// The wrapped detector's Observatory sink.
     pub fn detector_obs(&self) -> &DetectorObs {
         &self.detector.obs
+    }
+
+    /// The install-channel circuit breaker, when the policy carries one.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
     }
 
     /// Move both Observatory bundles (controller + wrapped detector) out of
@@ -390,12 +471,30 @@ impl campuslab_netsim::SimHooks for MitigationController {
 
     fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
         let Some(mut p) = self.pending.remove(&token) else { return };
+        // An open circuit breaker sheds the episode before any attempt is
+        // sent (or any RNG is drawn): a typed give-up, never a silent drop.
+        if let Some(b) = self.breaker.as_mut() {
+            if !b.allows(now) {
+                self.obs.on_giveup(p.span, now.as_nanos());
+                self.giveups.push(InstallGiveUp {
+                    victim: p.det.dst,
+                    detected_at: SimTime(p.det.window_end_ns),
+                    gave_up_at: now,
+                    attempts: p.attempts,
+                    reason: GiveUpReason::CircuitOpen,
+                });
+                return;
+            }
+        }
         p.attempts += 1;
         let policy = &self.cfg.install;
         let flaked = policy.failure_probability > 0.0
             && rand::Rng::gen::<f64>(&mut self.install_rng) < policy.failure_probability;
         self.obs.on_attempt(flaked);
         if !flaked {
+            if let Some(b) = self.breaker.as_mut() {
+                b.on_success();
+            }
             self.bank.add_program(Some(p.det.dst), self.cfg.program.clone());
             self.obs.on_installed(p.span, p.det.window_end_ns, now.as_nanos());
             self.events.push(MitigationEvent {
@@ -407,18 +506,29 @@ impl campuslab_netsim::SimHooks for MitigationController {
             });
             return;
         }
+        if let Some(b) = self.breaker.as_mut() {
+            b.on_failure(now);
+        }
         // The attempt flaked. Retry with bounded exponential backoff while
         // budget and timeout allow; otherwise surface the give-up instead
         // of silently losing the mitigation.
         let deadline = p.first_attempt + policy.timeout;
         let backoff = policy.backoff_after(p.attempts);
-        if p.attempts >= policy.max_attempts || now + backoff > deadline {
+        let reason = if p.attempts >= policy.max_attempts {
+            Some(GiveUpReason::Exhausted)
+        } else if now + backoff > deadline {
+            Some(GiveUpReason::Timeout)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
             self.obs.on_giveup(p.span, now.as_nanos());
             self.giveups.push(InstallGiveUp {
                 victim: p.det.dst,
                 detected_at: SimTime(p.det.window_end_ns),
                 gave_up_at: now,
                 attempts: p.attempts,
+                reason,
             });
             return;
         }
@@ -613,6 +723,61 @@ mod tests {
         ctrl.on_timer(first + SimDuration::from_millis(10), base + 1, &mut cmds);
         assert_eq!(ctrl.giveups.len(), 1);
         assert_eq!(ctrl.giveups[0].attempts, 2);
+    }
+
+    #[test]
+    fn open_breaker_sheds_with_typed_giveup_not_silent_drop() {
+        use crate::rollout::{BreakerState, CircuitBreakerPolicy};
+        let (mut ctrl, handle) = controller_with(InstallPolicy {
+            failure_probability: 1.0,
+            max_attempts: 5,
+            breaker: Some(CircuitBreakerPolicy {
+                open_after: 2,
+                cooldown: SimDuration::from_millis(250),
+            }),
+            ..InstallPolicy::default()
+        });
+        let victim: IpAddr = "10.1.1.10".parse().unwrap();
+        let mut cmds = Commands::default();
+        let t0 = SimTime::from_secs(1);
+        ctrl.handle_detections(t0, vec![detection(victim)], &mut cmds);
+        use campuslab_netsim::SimHooks;
+        let base = MitigationController::TOKEN_BASE;
+        // Two flaked attempts trip the breaker...
+        ctrl.on_timer(t0, base, &mut cmds);
+        assert_eq!(ctrl.breaker().unwrap().state(), BreakerState::Closed);
+        ctrl.on_timer(t0 + SimDuration::from_millis(2), base + 1, &mut cmds);
+        assert_eq!(ctrl.breaker().unwrap().state(), BreakerState::Open);
+        assert!(ctrl.giveups.is_empty(), "retry budget not yet exhausted");
+        // ...so the already-scheduled third retry fires into an open
+        // circuit and is shed as a *recorded* give-up, not a lost episode.
+        ctrl.on_timer(t0 + SimDuration::from_millis(6), base + 2, &mut cmds);
+        assert_eq!(ctrl.giveups.len(), 1);
+        assert_eq!(ctrl.giveups[0].reason, GiveUpReason::CircuitOpen);
+        assert_eq!(ctrl.giveups[0].attempts, 2, "no attempt is made against an open circuit");
+        assert!(ctrl.events.is_empty());
+        assert!(handle.is_empty());
+
+        // After the cooldown a new episode gets exactly one half-open
+        // probe; the probe flaking re-opens immediately.
+        let t1 = t0 + SimDuration::from_millis(400);
+        ctrl.handle_detections(t1, vec![detection("10.1.2.20".parse().unwrap())], &mut cmds);
+        ctrl.on_timer(t1 + SimDuration::from_millis(2), base + 3, &mut cmds);
+        assert_eq!(ctrl.breaker().unwrap().state(), BreakerState::Open);
+        assert_eq!(ctrl.breaker().unwrap().opens, 2);
+        // Its pending retry is shed on arrival, again with the typed reason.
+        ctrl.on_timer(t1 + SimDuration::from_millis(4), base + 4, &mut cmds);
+        assert_eq!(ctrl.giveups.len(), 2);
+        assert_eq!(ctrl.giveups[1].reason, GiveUpReason::CircuitOpen);
+    }
+
+    #[test]
+    fn breaker_free_policy_retries_exactly_as_before() {
+        // InstallPolicy::default() must keep `breaker: None` so existing
+        // runs (and their goldens) draw the identical RNG sequence.
+        assert!(InstallPolicy::default().breaker.is_none());
+        let (ctrl, _handle) = controller_with(InstallPolicy::default());
+        assert!(ctrl.breaker().is_none());
     }
 
     #[test]

@@ -22,17 +22,25 @@
 //! assert!(Placement::Controller.install_delay() < Placement::Cloud.install_delay());
 //! ```
 
+#![deny(rust_2018_idioms)]
+
 pub mod fastloop;
 pub mod detector;
 pub mod devloop;
 pub mod controller;
+pub mod rollout;
 pub mod observe;
 
 pub use controller::{
-    BankFilter, BankHandle, FastLoopStatsSnapshot, InstallGiveUp, InstallPolicy,
-    MitigationController, MitigationControllerConfig, MitigationEvent, Placement,
+    BankFilter, BankHandle, FastLoopStatsSnapshot, GiveUpReason, InstallGiveUp, InstallPolicy,
+    MitigationController, MitigationControllerConfig, MitigationEvent, Placement, ProgramScope,
 };
 pub use detector::{Detection, StreamingWindowDetector};
 pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};
-pub use fastloop::{DeployedFilter, FastLoopStats};
-pub use observe::{ControllerObs, DetectorObs};
+pub use fastloop::{DeployedFilter, FastLoopStats, ShadowMirror, ShadowWindow};
+pub use observe::{ControllerObs, DetectorObs, RolloutObs};
+pub use rollout::{
+    BreakerState, CircuitBreaker, CircuitBreakerPolicy, ProgramRegistry, RejectReason,
+    RolloutConfig, RolloutEvent, RolloutEventKind, RolloutGuard, RolloutStage, SloPolicy,
+    SloViolation,
+};

@@ -1,8 +1,11 @@
 //! Observatory schemas for the control plane: window-detector telemetry
-//! ([`DetectorObs`]) and mitigation-controller telemetry
-//! ([`ControllerObs`], including per-episode spans traced in sim-time).
+//! ([`DetectorObs`]), mitigation-controller telemetry ([`ControllerObs`],
+//! including per-episode spans traced in sim-time), and rollout-guard
+//! telemetry ([`RolloutObs`], including per-stage spans).
 
-use campuslab_obs::{CounterId, Histogram, HistogramId, ObsSink, OpenSpan, Registry, Tracer};
+use campuslab_obs::{
+    CounterId, GaugeId, Histogram, HistogramId, ObsSink, OpenSpan, Registry, Tracer,
+};
 
 /// Window-coverage histogram bounds, percent observed (≤10% .. ≤99%, +Inf
 /// catches fully covered windows).
@@ -238,6 +241,306 @@ impl ControllerObs {
     }
 }
 
+/// Time-in-stage histogram bounds, milliseconds of sim time.
+pub const STAGE_MS_BOUNDS: [u64; 6] = [500, 1_000, 2_000, 5_000, 10_000, 30_000];
+
+/// Metrics + per-stage spans for one [`crate::rollout::RolloutGuard`].
+#[derive(Debug, Clone)]
+pub struct RolloutObs {
+    registry: Registry,
+    /// Value store; bumped by the guard, read back through typed ids.
+    pub sink: ObsSink,
+    /// Per-stage spans (`rollout[stage name@fp]`), sim-time stamped.
+    pub tracer: Tracer,
+    submissions: CounterId,
+    rejected: CounterId,
+    windows: CounterId,
+    windows_healthy: CounterId,
+    windows_violated: CounterId,
+    windows_inconclusive: CounterId,
+    promotions: CounterId,
+    vetoes: CounterId,
+    rollbacks: CounterId,
+    commits: CounterId,
+    recoveries: CounterId,
+    giveups_observed: CounterId,
+    viol_fp: CounterId,
+    viol_benign_drop: CounterId,
+    viol_capture_loss: CounterId,
+    viol_latency: CounterId,
+    viol_giveup: CounterId,
+    stage: GaugeId,
+    registry_versions: GaugeId,
+    stage_ms: HistogramId,
+}
+
+impl Default for RolloutObs {
+    fn default() -> Self {
+        RolloutObs::new()
+    }
+}
+
+impl RolloutObs {
+    /// Build the rollout schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let submissions =
+            reg.counter("rollout_submissions_total", "candidate programs submitted to the guard");
+        let rejected = reg.counter(
+            "rollout_submissions_rejected_total",
+            "submissions refused (guard busy or cooling down)",
+        );
+        let windows = reg.counter("rollout_windows_total", "SLO windows evaluated");
+        let windows_healthy =
+            reg.counter("rollout_windows_healthy_total", "SLO windows with every gate green");
+        let windows_violated =
+            reg.counter("rollout_windows_violated_total", "SLO windows with at least one gate red");
+        let windows_inconclusive = reg.counter(
+            "rollout_windows_inconclusive_total",
+            "SLO windows with too little evidence; streaks frozen",
+        );
+        let promotions =
+            reg.counter("rollout_promotions_total", "stage promotions (shadow→canary, canary→full)");
+        let vetoes = reg.counter("rollout_vetoes_total", "candidates vetoed in shadow");
+        let rollbacks =
+            reg.counter("rollout_rollbacks_total", "enforced candidates rolled back to known-good");
+        let commits =
+            reg.counter("rollout_commits_total", "candidates committed as the new known-good");
+        let recoveries = reg.counter(
+            "rollout_recoveries_total",
+            "post-rollback windows confirming SLOs back at baseline",
+        );
+        let giveups_observed = reg.counter(
+            "rollout_giveups_observed_total",
+            "controller install give-ups observed by the guard",
+        );
+        let viol_fp =
+            reg.counter("rollout_viol_fp_total", "windows violating the false-positive-rate gate");
+        let viol_benign_drop = reg.counter(
+            "rollout_viol_benign_drop_total",
+            "windows violating the benign-drop-delta gate",
+        );
+        let viol_capture_loss = reg.counter(
+            "rollout_viol_capture_loss_total",
+            "windows violating the capture-loss-delta gate",
+        );
+        let viol_latency = reg.counter(
+            "rollout_viol_latency_total",
+            "windows violating the mitigation-latency budget",
+        );
+        let viol_giveup = reg.counter(
+            "rollout_viol_giveup_total",
+            "windows violated by an install give-up (rollback-eligible failure)",
+        );
+        let stage = reg.gauge("rollout_stage", "current stage: 0 idle, 1 shadow, 2 canary, 3 full");
+        let registry_versions =
+            reg.gauge("rollout_registry_versions", "programs in the known-good registry");
+        let stage_ms = reg.histogram(
+            "rollout_stage_ms",
+            "sim time spent in a stage before leaving it, milliseconds",
+            &STAGE_MS_BOUNDS,
+        );
+        let sink = reg.sink();
+        RolloutObs {
+            registry: reg,
+            sink,
+            tracer: Tracer::new(),
+            submissions,
+            rejected,
+            windows,
+            windows_healthy,
+            windows_violated,
+            windows_inconclusive,
+            promotions,
+            vetoes,
+            rollbacks,
+            commits,
+            recoveries,
+            giveups_observed,
+            viol_fp,
+            viol_benign_drop,
+            viol_capture_loss,
+            viol_latency,
+            viol_giveup,
+            stage,
+            registry_versions,
+            stage_ms,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_submission(&mut self, accepted: bool) {
+        self.sink.inc(self.submissions);
+        if !accepted {
+            self.sink.inc(self.rejected);
+        }
+    }
+
+    /// A stage was entered; opens its span and moves the stage gauge.
+    #[inline]
+    pub(crate) fn on_stage_enter(&mut self, label: &str, code: i64, now_ns: u64) -> OpenSpan {
+        self.sink.set(self.stage, code);
+        self.tracer.open(format!("rollout[{label}]"), now_ns)
+    }
+
+    /// A stage was left; closes its span and records time-in-stage.
+    #[inline]
+    pub(crate) fn on_stage_exit(&mut self, span: OpenSpan, entered_ns: u64, now_ns: u64) {
+        self.sink
+            .observe(self.stage_ms, now_ns.saturating_sub(entered_ns) / 1_000_000);
+        self.tracer.close(span, now_ns);
+    }
+
+    #[inline]
+    pub(crate) fn set_stage(&mut self, code: i64) {
+        self.sink.set(self.stage, code);
+    }
+
+    #[inline]
+    pub(crate) fn on_window(&mut self, healthy: Option<bool>) {
+        self.sink.inc(self.windows);
+        match healthy {
+            Some(true) => self.sink.inc(self.windows_healthy),
+            Some(false) => self.sink.inc(self.windows_violated),
+            None => self.sink.inc(self.windows_inconclusive),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_violation(&mut self, v: crate::rollout::SloViolation) {
+        use crate::rollout::SloViolation;
+        let id = match v {
+            SloViolation::FalsePositiveRate => self.viol_fp,
+            SloViolation::BenignDropDelta => self.viol_benign_drop,
+            SloViolation::CaptureLossDelta => self.viol_capture_loss,
+            SloViolation::LatencyBudget => self.viol_latency,
+            SloViolation::InstallGiveUp => self.viol_giveup,
+        };
+        self.sink.inc(id);
+    }
+
+    #[inline]
+    pub(crate) fn on_promotion(&mut self) {
+        self.sink.inc(self.promotions);
+    }
+
+    #[inline]
+    pub(crate) fn on_veto(&mut self) {
+        self.sink.inc(self.vetoes);
+    }
+
+    #[inline]
+    pub(crate) fn on_rollback(&mut self) {
+        self.sink.inc(self.rollbacks);
+    }
+
+    #[inline]
+    pub(crate) fn on_commit(&mut self, registry_len: usize) {
+        self.sink.inc(self.commits);
+        self.sink.set(self.registry_versions, registry_len as i64);
+    }
+
+    #[inline]
+    pub(crate) fn on_recovery(&mut self) {
+        self.sink.inc(self.recoveries);
+    }
+
+    #[inline]
+    pub(crate) fn on_giveup_observed(&mut self) {
+        self.sink.inc(self.giveups_observed);
+    }
+
+    #[inline]
+    pub(crate) fn set_registry_versions(&mut self, n: usize) {
+        self.sink.set(self.registry_versions, n as i64);
+    }
+
+    /// Candidates submitted.
+    pub fn submissions(&self) -> u64 {
+        self.sink.counter(self.submissions)
+    }
+
+    /// Submissions refused.
+    pub fn rejected(&self) -> u64 {
+        self.sink.counter(self.rejected)
+    }
+
+    /// SLO windows evaluated.
+    pub fn windows(&self) -> u64 {
+        self.sink.counter(self.windows)
+    }
+
+    /// Windows with every gate green.
+    pub fn windows_healthy(&self) -> u64 {
+        self.sink.counter(self.windows_healthy)
+    }
+
+    /// Windows with at least one gate red.
+    pub fn windows_violated(&self) -> u64 {
+        self.sink.counter(self.windows_violated)
+    }
+
+    /// Windows with too little evidence to judge.
+    pub fn windows_inconclusive(&self) -> u64 {
+        self.sink.counter(self.windows_inconclusive)
+    }
+
+    /// Stage promotions.
+    pub fn promotions(&self) -> u64 {
+        self.sink.counter(self.promotions)
+    }
+
+    /// Shadow vetoes.
+    pub fn vetoes(&self) -> u64 {
+        self.sink.counter(self.vetoes)
+    }
+
+    /// Rollbacks of enforced candidates.
+    pub fn rollbacks(&self) -> u64 {
+        self.sink.counter(self.rollbacks)
+    }
+
+    /// Candidates committed as known-good.
+    pub fn commits(&self) -> u64 {
+        self.sink.counter(self.commits)
+    }
+
+    /// Post-rollback recoveries confirmed.
+    pub fn recoveries(&self) -> u64 {
+        self.sink.counter(self.recoveries)
+    }
+
+    /// Controller give-ups the guard observed.
+    pub fn giveups_observed(&self) -> u64 {
+        self.sink.counter(self.giveups_observed)
+    }
+
+    /// Current stage gauge (0 idle, 1 shadow, 2 canary, 3 full).
+    pub fn stage(&self) -> i64 {
+        self.sink.gauge(self.stage)
+    }
+
+    /// Known-good registry depth.
+    pub fn registry_versions(&self) -> i64 {
+        self.sink.gauge(self.registry_versions)
+    }
+
+    /// The time-in-stage histogram (milliseconds).
+    pub fn stage_histogram(&self) -> &Histogram {
+        self.sink.histogram(self.stage_ms)
+    }
+
+    /// Render as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +582,47 @@ mod tests {
         assert_eq!(cov.count(), 2);
         assert_eq!(cov.sum(), 130);
         assert!(obs.render().contains("det_window_coverage_pct_bucket{le=\"50\"} 1"));
+    }
+
+    #[test]
+    fn rollout_lifecycle_accounting_and_render() {
+        let mut obs = RolloutObs::new();
+        obs.on_submission(true);
+        obs.on_submission(false);
+        let span = obs.on_stage_enter("shadow v2@00000001", 1, 1_000_000_000);
+        obs.on_window(Some(true));
+        obs.on_window(Some(false));
+        obs.on_window(None);
+        obs.on_violation(crate::rollout::SloViolation::FalsePositiveRate);
+        obs.on_violation(crate::rollout::SloViolation::BenignDropDelta);
+        obs.on_giveup_observed();
+        obs.on_stage_exit(span, 1_000_000_000, 3_000_000_000);
+        obs.on_promotion();
+        obs.on_veto();
+        obs.on_rollback();
+        obs.on_recovery();
+        obs.on_commit(2);
+        assert_eq!(obs.submissions(), 2);
+        assert_eq!(obs.rejected(), 1);
+        assert_eq!(obs.windows(), 3);
+        assert_eq!(obs.windows_healthy(), 1);
+        assert_eq!(obs.windows_violated(), 1);
+        assert_eq!(obs.windows_inconclusive(), 1);
+        assert_eq!(obs.promotions(), 1);
+        assert_eq!(obs.vetoes(), 1);
+        assert_eq!(obs.rollbacks(), 1);
+        assert_eq!(obs.recoveries(), 1);
+        assert_eq!(obs.commits(), 1);
+        assert_eq!(obs.giveups_observed(), 1);
+        assert_eq!(obs.registry_versions(), 2);
+        assert_eq!(obs.stage_histogram().count(), 1);
+        assert_eq!(obs.stage_histogram().sum(), 2_000);
+        let spans = obs.tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "rollout[shadow v2@00000001]");
+        let text = obs.render();
+        assert!(text.contains("rollout_submissions_total 2"));
+        assert!(text.contains("rollout_rollbacks_total 1"));
+        assert!(text.contains("rollout_stage 1"));
     }
 }

@@ -42,6 +42,9 @@ pub struct CompileReport {
     pub leaves_drop: usize,
     pub leaves_gated_out: usize,
     pub leaves_skipped_support: usize,
+    /// Leaves whose bounds referenced a feature index outside the schema
+    /// (a malformed or stale tree); skipped rather than panicking.
+    pub leaves_malformed: usize,
     pub tcam_entries: usize,
     /// Worst single-leaf expansion factor.
     pub max_expansion: usize,
@@ -61,6 +64,7 @@ pub fn compile_tree(
         leaves_drop: 0,
         leaves_gated_out: 0,
         leaves_skipped_support: 0,
+        leaves_malformed: 0,
         tcam_entries: 0,
         max_expansion: 0,
     };
@@ -76,8 +80,11 @@ pub fn compile_tree(
             report.leaves_gated_out += 1;
             continue;
         }
+        let Some(expanded) = expand_rule(rule) else {
+            report.leaves_malformed += 1;
+            continue;
+        };
         report.leaves_drop += 1;
-        let expanded = expand_rule(rule);
         report.max_expansion = report.max_expansion.max(expanded.len());
         for matches in expanded {
             entries.push(TableEntry {
@@ -93,12 +100,14 @@ pub fn compile_tree(
 }
 
 /// Expand one leaf rule into the cross-product of per-field ternary
-/// blocks. Returns an empty vec for infeasible rules (empty intervals).
-fn expand_rule(rule: &LeafRule) -> Vec<[TernaryMatch; FIELD_ORDER.len()]> {
+/// blocks. Returns an empty vec for infeasible rules (empty intervals)
+/// and `None` when a bound references a feature index outside the schema
+/// (a malformed tree must not panic the compiler path).
+fn expand_rule(rule: &LeafRule) -> Option<Vec<[TernaryMatch; FIELD_ORDER.len()]>> {
     // Per-field expansions, starting from "unconstrained".
     let mut per_field: Vec<Vec<TernaryMatch>> = vec![vec![TernaryMatch::ANY]; FIELD_ORDER.len()];
     for &(feature, lo, hi) in &rule.bounds {
-        let field = HeaderField::from_feature_index(feature);
+        let field = HeaderField::try_from_feature_index(feature)?;
         let max = field.max_value();
         // Features are integers: `x > lo` means `x >= floor(lo) + 1`,
         // `x <= hi` means `x <= floor(hi)`.
@@ -110,14 +119,14 @@ fn expand_rule(rule: &LeafRule) -> Vec<[TernaryMatch; FIELD_ORDER.len()]> {
         let hi_int = if hi.is_finite() {
             let h = hi.floor();
             if h < 0.0 {
-                return Vec::new();
+                return Some(Vec::new());
             }
             (h as u32).min(max)
         } else {
             max
         };
         if lo_int > hi_int || lo_int > max {
-            return Vec::new(); // infeasible under this field's width
+            return Some(Vec::new()); // infeasible under this field's width
         }
         per_field[feature] = range_to_ternary(lo_int, hi_int, field.bits());
     }
@@ -141,7 +150,7 @@ fn expand_rule(rule: &LeafRule) -> Vec<[TernaryMatch; FIELD_ORDER.len()]> {
         }
         out = next;
     }
-    out
+    Some(out)
 }
 
 #[cfg(test)]
@@ -309,6 +318,37 @@ mod tests {
             confidence: 1.0,
             support: 10,
         };
-        assert!(expand_rule(&rule).is_empty());
+        assert!(expand_rule(&rule).expect("feasibility, not malformedness").is_empty());
+    }
+
+    #[test]
+    fn malformed_feature_index_is_counted_not_panicked() {
+        // A bound referencing a feature outside the 13-field schema models
+        // a stale or corrupted tree; compilation must skip the leaf and
+        // report it, never index out of bounds.
+        let rule = LeafRule {
+            bounds: vec![(FIELD_ORDER.len() + 3, 0.0, 10.0)],
+            class: 1,
+            confidence: 1.0,
+            support: 10,
+        };
+        assert!(expand_rule(&rule).is_none());
+        // End to end: a tree fit against a *wider* feature schema (here 16
+        // features, splitting on index 15) is exactly the stale-tree case.
+        let n = 200;
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; 16];
+                row[15] = f64::from(i % 2);
+                row
+            })
+            .collect();
+        let y: Vec<usize> = (0..n).map(|i| (i % 2) as usize).collect();
+        let names = (0..16).map(|i| format!("f{i}")).collect();
+        let tree = DecisionTree::fit(&Dataset::new(x, y, names), TreeConfig::shallow(2));
+        let (program, report) = compile_tree(&tree, CompileConfig::default(), "stale");
+        assert!(report.leaves_malformed > 0);
+        assert_eq!(report.leaves_drop, 0);
+        assert_eq!(program.n_entries(), 0);
     }
 }

@@ -61,8 +61,25 @@ impl HeaderField {
     }
 
     /// The field for a canonical feature index.
+    ///
+    /// Panics on out-of-range indexes; compilation paths that consume
+    /// untrusted feature indexes (a malformed or stale tree) must use
+    /// [`HeaderField::try_from_feature_index`] instead.
     pub fn from_feature_index(idx: usize) -> HeaderField {
         FIELD_ORDER[idx]
+    }
+
+    /// The field for a canonical feature index, or `None` when the index
+    /// falls outside the schema (a malformed program must surface as a
+    /// typed condition, never a panic in the compiler path).
+    pub fn try_from_feature_index(idx: usize) -> Option<HeaderField> {
+        FIELD_ORDER.get(idx).copied()
+    }
+
+    /// The field's canonical index, infallibly: every `HeaderField` is in
+    /// `FIELD_ORDER` by construction, so no lookup can fail.
+    pub fn index(self) -> usize {
+        self as usize
     }
 
     /// Short name matching the feature schema.

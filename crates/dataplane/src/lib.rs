@@ -36,6 +36,6 @@ pub mod resources;
 
 pub use compiler::{compile_tree, CompileConfig, CompileReport};
 pub use fields::{fields_from_record, FieldExtractor, FieldValues, HeaderField, FIELD_ORDER};
-pub use program::{Action, PipelineProgram, PipelineRuntime, TableEntry};
+pub use program::{Action, PipelineProgram, PipelineRuntime, ProgramVersion, TableEntry};
 pub use resources::{Allocation, ProgramFootprint, ResourceError, SwitchModel};
 pub use ternary::{range_to_ternary, TernaryMatch};

@@ -4,7 +4,9 @@
 
 use crate::fields::{FieldValues, FIELD_ORDER};
 use crate::ternary::TernaryMatch;
+use campuslab_netsim::fxhash::FxHasher;
 use serde::{Deserialize, Serialize};
+use std::hash::Hasher;
 
 /// What an entry does on a hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +67,25 @@ pub struct PipelineProgram {
     pub name: String,
 }
 
+/// A program's deployment identity: the human-readable name plus a
+/// content fingerprint. Two programs with the same version are
+/// byte-equivalent match-action tables; a rollout registry keys on this,
+/// so rollback can remove exactly the entries one candidate installed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProgramVersion {
+    /// Provenance name (`PipelineProgram::name`).
+    pub name: String,
+    /// Deterministic content hash over entries (order, matches, actions,
+    /// priorities, confidences) and the name.
+    pub fingerprint: u64,
+}
+
+impl std::fmt::Display for ProgramVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{:08x}", self.name, self.fingerprint & 0xFFFF_FFFF)
+    }
+}
+
 /// A per-entry policer: a classic token bucket over bits.
 #[derive(Debug, Clone, Copy)]
 struct TokenBucket {
@@ -121,6 +142,39 @@ impl PipelineProgram {
     /// Number of TCAM entries.
     pub fn n_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Deterministic content fingerprint: hashes the name and every entry
+    /// (matches, action, priority, confidence bits) with the cross-platform
+    /// Fx hasher, so the same program hashes identically across processes
+    /// and runs — the identity a rollout registry and the filter bank key
+    /// on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(self.name.as_bytes());
+        h.write_usize(self.entries.len());
+        for e in &self.entries {
+            for cell in &e.matches {
+                h.write_u32(cell.value);
+                h.write_u32(cell.mask);
+            }
+            match e.action {
+                Action::Forward => h.write_u8(0),
+                Action::Drop => h.write_u8(1),
+                Action::RateLimit { bits_per_sec } => {
+                    h.write_u8(2);
+                    h.write_u64(bits_per_sec);
+                }
+            }
+            h.write_i32(e.priority);
+            h.write_u64(e.confidence.to_bits());
+        }
+        h.finish()
+    }
+
+    /// The program's deployment identity (name + content fingerprint).
+    pub fn version(&self) -> ProgramVersion {
+        ProgramVersion { name: self.name.clone(), fingerprint: self.fingerprint() }
     }
 
     /// First-match lookup.
@@ -195,13 +249,21 @@ impl PipelineRuntime {
         match self.program.lookup(fields) {
             Some((idx, Action::RateLimit { .. })) => {
                 self.hits[idx] += 1;
-                let meter = self.meters[idx].as_mut().expect("policing entry has a meter");
-                if meter.conform(now_ns, f64::from(wire_len) * 8.0) {
-                    Action::Forward
-                } else {
-                    self.drops += 1;
-                    self.policed += 1;
-                    Action::Drop
+                // Meters are built per-entry in `into_runtime`, so a
+                // policing entry always has one; treat a missing meter as
+                // an unpoliced forward rather than panicking the per-packet
+                // path on a malformed runtime.
+                match self.meters.get_mut(idx).and_then(Option::as_mut) {
+                    Some(meter) => {
+                        if meter.conform(now_ns, f64::from(wire_len) * 8.0) {
+                            Action::Forward
+                        } else {
+                            self.drops += 1;
+                            self.policed += 1;
+                            Action::Drop
+                        }
+                    }
+                    None => Action::Forward,
                 }
             }
             Some((idx, action)) => {
@@ -236,15 +298,13 @@ mod tests {
 
     fn entry_on(field: HeaderField, cell: TernaryMatch, action: Action, priority: i32) -> TableEntry {
         let mut matches = [TernaryMatch::ANY; FIELD_ORDER.len()];
-        let idx = FIELD_ORDER.iter().position(|&f| f == field).unwrap();
-        matches[idx] = cell;
+        matches[field.index()] = cell;
         TableEntry { matches, action, priority, confidence: 1.0 }
     }
 
     fn fields_with(field: HeaderField, value: u32) -> FieldValues {
         let mut f = [0u32; FIELD_ORDER.len()];
-        let idx = FIELD_ORDER.iter().position(|&x| x == field).unwrap();
-        f[idx] = value;
+        f[field.index()] = value;
         f
     }
 
@@ -379,6 +439,53 @@ mod tests {
         assert!(actions.contains(&Action::RateLimit { bits_per_sec: 2_000_000 }));
         assert!(actions.contains(&Action::Forward));
         assert!(!actions.contains(&Action::Drop));
+    }
+
+    #[test]
+    fn fingerprint_is_content_identity() {
+        let a = PipelineProgram::new(
+            "p",
+            vec![entry_on(HeaderField::SrcPort, TernaryMatch::exact(53, 16), Action::Drop, 1)],
+        );
+        // Same content, same fingerprint — across clones and rebuilds.
+        let b = PipelineProgram::new(
+            "p",
+            vec![entry_on(HeaderField::SrcPort, TernaryMatch::exact(53, 16), Action::Drop, 1)],
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.version(), b.version());
+        // Any content drift moves the fingerprint: name, match, action,
+        // priority, confidence.
+        let renamed = PipelineProgram::new("q", a.entries.clone());
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let other_match = PipelineProgram::new(
+            "p",
+            vec![entry_on(HeaderField::SrcPort, TernaryMatch::exact(54, 16), Action::Drop, 1)],
+        );
+        assert_ne!(a.fingerprint(), other_match.fingerprint());
+        let policed = a.with_drops_as_policers(1_000_000);
+        assert_ne!(a.fingerprint(), policed.fingerprint());
+        let mut conf = a.clone();
+        conf.entries[0].confidence = 0.5;
+        assert_ne!(a.fingerprint(), conf.fingerprint());
+        // Display form is stable and human-scannable.
+        assert!(a.version().to_string().starts_with("p@"));
+    }
+
+    #[test]
+    fn malformed_runtime_forwards_instead_of_panicking() {
+        // A runtime whose meter table was clobbered (models a malformed
+        // deserialized program): the policing entry must degrade to
+        // Forward, never panic the per-packet path.
+        let program = PipelineProgram::new(
+            "police",
+            vec![TableEntry::default_entry(Action::RateLimit { bits_per_sec: 8 })],
+        );
+        let mut rt = program.into_runtime();
+        rt.meters.clear();
+        let fields = [0u32; FIELD_ORDER.len()];
+        assert_eq!(rt.process_at(0, &fields, 1_500), Action::Forward);
+        assert_eq!(rt.drops, 0);
     }
 
     #[test]

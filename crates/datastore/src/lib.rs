@@ -26,6 +26,8 @@
 //! assert!(hits.is_empty()); // nothing ingested yet
 //! ```
 
+#![deny(rust_2018_idioms)]
+
 pub mod observe;
 pub mod persist;
 pub mod query;

@@ -131,6 +131,7 @@ pub fn chaos_road_test_config(
         max_backoff: SimDuration::from_millis(200),
         timeout: SimDuration::from_secs(2),
         seed: seed ^ 0x1257A11,
+        ..InstallPolicy::default()
     };
     cfg
 }

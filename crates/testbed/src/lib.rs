@@ -17,6 +17,9 @@
 //! * [`chaos_sweep`] — robustness under chaos: sweep a fault-intensity
 //!   knob and measure how detection recall, mitigation latency and
 //!   delivery degrade (experiment E14).
+//! * [`rollout`] — SLO-guarded deployment: shadow → canary → full
+//!   promotion of candidate programs with automatic rollback
+//!   (experiment E15).
 //! * [`hooks`] — hook composition for running monitor + controller
 //!   together.
 
@@ -33,6 +36,7 @@ pub mod hooks;
 pub mod observe;
 pub mod scenario;
 pub mod roadtest;
+pub mod rollout;
 pub mod crosscampus;
 pub mod trust;
 pub mod chaos_sweep;
@@ -46,6 +50,9 @@ pub use observe::RunObs;
 pub use roadtest::{
     deployment_decision, road_test, DeploymentDecision, GateCriteria, RoadTestConfig,
     RoadTestOutcome,
+};
+pub use rollout::{
+    canary_hosts, guarded_road_test, GuardedHooks, GuardedRunConfig, GuardedRunOutcome,
 };
 pub use scenario::{build_schedule, build_store, collect, AttackScenario, CollectedData, Scenario};
 pub use trust::{expected_features, trust_report, AuditedDecision, TrustReport};

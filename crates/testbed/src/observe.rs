@@ -3,7 +3,7 @@
 //! parallel executions render byte-identical dumps.
 
 use campuslab_capture::CaptureObs;
-use campuslab_control::{ControllerObs, DetectorObs, FastLoopStatsSnapshot};
+use campuslab_control::{ControllerObs, DetectorObs, FastLoopStatsSnapshot, RolloutObs};
 use campuslab_netsim::NetObs;
 use campuslab_obs::{Registry, Tracer};
 
@@ -28,6 +28,8 @@ pub struct RunObs {
     /// Run-level stage spans (sim-time), with any controller episode spans
     /// merged in after the run's own.
     pub tracer: Tracer,
+    /// Rollout-guard telemetry (guarded road tests only).
+    pub rollout: Option<RolloutObs>,
 }
 
 impl RunObs {
@@ -40,14 +42,15 @@ impl RunObs {
             controller: None,
             filter: None,
             tracer: Tracer::new(),
+            rollout: None,
         }
     }
 
     /// Render every participating layer as one Prometheus text dump.
     ///
-    /// Section order is fixed (net, capture, filter, detector, controller)
-    /// and each section renders its registry in registration order, so the
-    /// whole dump is byte-deterministic for a given run.
+    /// Section order is fixed (net, capture, filter, detector, controller,
+    /// rollout) and each section renders its registry in registration
+    /// order, so the whole dump is byte-deterministic for a given run.
     pub fn prom(&self) -> String {
         let mut out = self.net.render();
         if let Some(c) = &self.capture {
@@ -61,6 +64,9 @@ impl RunObs {
         }
         if let Some(c) = &self.controller {
             out.push_str(&c.render());
+        }
+        if let Some(r) = &self.rollout {
+            out.push_str(&r.render());
         }
         out
     }

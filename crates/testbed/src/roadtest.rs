@@ -190,6 +190,7 @@ pub fn road_test(
             controller: controller_obs,
             filter: Some(filter),
             tracer,
+            rollout: None,
         },
     }
 }

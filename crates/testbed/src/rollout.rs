@@ -1,0 +1,352 @@
+//! Guarded road tests (experiment E15): the rollout guard supervises a
+//! candidate program's shadow → canary → full promotion on a live campus
+//! while the mitigation controller defends it, and the two hooks share
+//! one simulation. The guard reads the controller's latency samples and
+//! install give-ups each event, so a flaky control channel is
+//! rollback-eligible evidence, not an invisible failure.
+
+use crate::observe::RunObs;
+use crate::roadtest::RoadTestConfig;
+use crate::scenario::{build_schedule, Scenario};
+use campuslab_control::{
+    BankFilter, MitigationController, MitigationControllerConfig, RolloutConfig, RolloutEvent,
+    RolloutGuard, RolloutStage, SloPolicy,
+};
+use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_ml::Classifier;
+use campuslab_netsim::{
+    Campus, Commands, Dir, DropReason, LinkId, NodeId, Packet, SimDuration, SimHooks, SimTime,
+};
+use campuslab_obs::Tracer;
+use std::net::IpAddr;
+
+/// Parameters of a guarded road test, over and above the road-test ones.
+pub struct GuardedRunConfig {
+    /// Base road-test knobs (placement, chaos, blackouts, install channel).
+    pub road: RoadTestConfig,
+    /// SLO windows, gates and hysteresis for the guard.
+    pub slo: SloPolicy,
+    /// Fraction of access switches whose hosts form the canary cohort.
+    pub canary_fraction: f64,
+    /// Candidates submitted to the guard at scheduled sim times.
+    pub submissions: Vec<(SimTime, PipelineProgram)>,
+}
+
+impl Default for GuardedRunConfig {
+    fn default() -> Self {
+        GuardedRunConfig {
+            road: RoadTestConfig::default(),
+            slo: SloPolicy::default(),
+            canary_fraction: 0.25,
+            submissions: Vec::new(),
+        }
+    }
+}
+
+/// The hosts behind the first `ceil(fraction * n_access)` access switches,
+/// in topology order. `Campus::build` pushes hosts grouped by access
+/// switch, so the chunks below are exactly the per-switch cohorts.
+pub fn canary_hosts(campus: &Campus, fraction: f64) -> Vec<IpAddr> {
+    let per_access = campus.config.hosts_per_access.max(1);
+    let n_access = campus.config.dist_count * campus.config.access_per_dist;
+    let take = ((fraction.clamp(0.0, 1.0) * n_access as f64).ceil() as usize).min(n_access);
+    campus
+        .hosts
+        .chunks(per_access)
+        .take(take)
+        .flatten()
+        .map(|&h| IpAddr::V4(campus.addr_of(h)))
+        .collect()
+}
+
+/// Guard + controller composed over one simulation. Order matters: the
+/// guard sees each tap packet first (mirroring must observe traffic the
+/// way the bank does, before any controller reaction lands this event),
+/// and after every hook the controller's freshly resolved episodes are
+/// forwarded to the guard as SLO evidence.
+pub struct GuardedHooks {
+    pub guard: RolloutGuard,
+    pub controller: MitigationController,
+    seen_events: usize,
+    seen_giveups: usize,
+}
+
+impl GuardedHooks {
+    /// Compose a guard and a controller.
+    pub fn new(guard: RolloutGuard, controller: MitigationController) -> Self {
+        GuardedHooks { guard, controller, seen_events: 0, seen_giveups: 0 }
+    }
+
+    /// Forward newly resolved controller episodes to the guard: landed
+    /// installs become latency samples against the TTM budget, give-ups
+    /// become rollback-eligible failures (never silently dropped).
+    fn sync(&mut self) {
+        for e in &self.controller.events[self.seen_events..] {
+            let ttm_ms = (e.installed_at - e.detected_at).as_nanos() / 1_000_000;
+            self.guard.record_ttm_sample(ttm_ms);
+        }
+        self.seen_events = self.controller.events.len();
+        for g in &self.controller.giveups[self.seen_giveups..] {
+            self.guard.record_giveup(g.reason);
+        }
+        self.seen_giveups = self.controller.giveups.len();
+    }
+}
+
+impl SimHooks for GuardedHooks {
+    fn on_tap(&mut self, now: SimTime, link: LinkId, dir: Dir, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_tap(now, link, dir, packet, cmds);
+        self.controller.on_tap(now, link, dir, packet, cmds);
+        self.sync();
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: &Packet,
+        latency: SimDuration,
+        cmds: &mut Commands,
+    ) {
+        self.guard.on_deliver(now, node, packet, latency, cmds);
+        self.controller.on_deliver(now, node, packet, latency, cmds);
+        self.sync();
+    }
+
+    fn on_drop(&mut self, now: SimTime, reason: DropReason, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_drop(now, reason, packet, cmds);
+        self.controller.on_drop(now, reason, packet, cmds);
+        self.sync();
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
+        self.guard.on_timer(now, token, cmds);
+        self.controller.on_timer(now, token, cmds);
+        self.sync();
+    }
+}
+
+/// What a guarded road test measured.
+pub struct GuardedRunOutcome {
+    /// The guard's decision log, in sim order.
+    pub events: Vec<RolloutEvent>,
+    /// Stage when the run ended.
+    pub final_stage: RolloutStage,
+    /// Known-good versions committed by the end of the run.
+    pub registry_len: usize,
+    /// Rollback → first healthy window, when both happened.
+    pub recovery_time: Option<SimDuration>,
+    pub filter: campuslab_control::FastLoopStatsSnapshot,
+    pub net: campuslab_netsim::NetStats,
+    /// Observatory bundle, rollout section included.
+    pub obs: RunObs,
+}
+
+impl GuardedRunOutcome {
+    /// The decision log as one line per event (sim-time stamped) — the
+    /// deployment timeline an operator reads after an incident.
+    pub fn timeline(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{} {} {:?}\n", e.at, e.program, e.kind));
+        }
+        out
+    }
+}
+
+/// Run a guarded road test: the scenario plays out while the controller
+/// defends the campus and the guard walks each submitted candidate
+/// through shadow → canary → full, vetoing or rolling back on SLO
+/// violations.
+pub fn guarded_road_test(
+    scenario: &Scenario,
+    known_good: PipelineProgram,
+    window_model: Box<dyn Classifier + Send>,
+    cfg: GuardedRunConfig,
+) -> GuardedRunOutcome {
+    let campus = Campus::build(scenario.campus.clone());
+    let (mut schedule, _victim, _attack_start) = build_schedule(&campus, scenario);
+    let cohort = canary_hosts(&campus, cfg.canary_fraction);
+    let mut net = campus.net;
+    schedule.apply_to(&mut net);
+    if let Some(plan) = &cfg.road.chaos {
+        plan.apply_to(&mut net);
+    }
+
+    let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
+    let (bank, handle) = BankFilter::new(extractor.clone());
+    net.install_filter(campus.border, bank);
+
+    let guard = RolloutGuard::new(
+        RolloutConfig {
+            tap: campus.border_link,
+            extractor,
+            slo: cfg.slo.clone(),
+            canary_hosts: cohort,
+            tap_blackouts: cfg.road.tap_blackouts.clone(),
+            submissions: cfg.submissions,
+        },
+        known_good.clone(),
+        handle.clone(),
+    );
+    let controller = MitigationController::new(
+        MitigationControllerConfig {
+            tap: campus.border_link,
+            placement: cfg.road.placement,
+            gate: cfg.road.gate,
+            window_ns: cfg.road.window_ns,
+            min_packets: cfg.road.min_packets,
+            program: known_good,
+            install: cfg.road.install.clone(),
+            tap_blackouts: cfg.road.tap_blackouts.clone(),
+        },
+        window_model,
+        handle.clone(),
+    );
+
+    let mut hooks = GuardedHooks::new(guard, controller);
+    net.run(&mut hooks, None);
+
+    let mut tracer = Tracer::new();
+    let end_ns = net.now().as_nanos();
+    tracer.record("guarded-roadtest".to_string(), 0, end_ns);
+    let (controller_obs, detector_obs) = hooks.controller.take_obs();
+    tracer.merge_from(&controller_obs.tracer);
+    let rollout_obs = hooks.guard.take_obs();
+    tracer.merge_from(&rollout_obs.tracer);
+
+    let events = std::mem::take(&mut hooks.guard.events);
+    let rolled_back_at = events.iter().find_map(|e| {
+        matches!(e.kind, campuslab_control::RolloutEventKind::RolledBack(_)).then_some(e.at)
+    });
+    let recovered_at = events.iter().find_map(|e| {
+        matches!(e.kind, campuslab_control::RolloutEventKind::Recovered).then_some(e.at)
+    });
+    let recovery_time = match (rolled_back_at, recovered_at) {
+        (Some(r), Some(h)) if h >= r => Some(h - r),
+        _ => None,
+    };
+
+    let filter = handle.stats();
+    GuardedRunOutcome {
+        events,
+        final_stage: hooks.guard.stage(),
+        registry_len: hooks.guard.registry().len(),
+        recovery_time,
+        filter,
+        net: net.stats,
+        obs: RunObs {
+            net: net.obs,
+            capture: None,
+            detector: Some(detector_obs),
+            controller: Some(controller_obs),
+            filter: Some(filter),
+            tracer,
+            rollout: Some(rollout_obs),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::collect;
+    use campuslab_control::{
+        run_development_loop, CircuitBreakerPolicy, DevLoopConfig, InstallPolicy,
+        RolloutEventKind, SloViolation,
+    };
+    use campuslab_dataplane::{Action, TableEntry, TernaryMatch, FIELD_ORDER};
+    use campuslab_features::{window_dataset, LabelMode, WindowConfig};
+    use campuslab_ml::{DecisionTree, TreeConfig};
+
+    fn trained() -> (PipelineProgram, DecisionTree) {
+        let data = collect(&Scenario::small());
+        let dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+        let wd = window_dataset(
+            &data.packets,
+            WindowConfig { window_ns: 1_000_000_000, min_packets: 5 },
+            LabelMode::BinaryAttack,
+        );
+        (dev.program, DecisionTree::fit(&wd, TreeConfig::shallow(4)))
+    }
+
+    /// Grossly over-broad: a wildcard drop rule — every packet, benign or
+    /// not, matches it. The live campus is mostly TCP, so anything less
+    /// (e.g. a drop-all-UDP rule) can sneak under the FP gate.
+    fn drop_everything() -> PipelineProgram {
+        let matches = [TernaryMatch::ANY; FIELD_ORDER.len()];
+        PipelineProgram::new(
+            "overbroad-wildcard",
+            vec![TableEntry { matches, action: Action::Drop, priority: 9, confidence: 0.5 }],
+        )
+    }
+
+    #[test]
+    fn canary_cohort_follows_access_switch_grouping() {
+        let campus = Campus::build(Scenario::small().campus);
+        // Scenario::small: 2 dists x 2 access x 4 hosts = 4 access switches.
+        let quarter = canary_hosts(&campus, 0.25);
+        assert_eq!(quarter.len(), campus.config.hosts_per_access);
+        let half = canary_hosts(&campus, 0.5);
+        assert_eq!(half.len(), 2 * campus.config.hosts_per_access);
+        assert!(half.starts_with(&quarter));
+        let all = canary_hosts(&campus, 1.0);
+        assert_eq!(all.len(), campus.hosts.len());
+        // A sliver still canaries one full switch, never a partial one.
+        assert_eq!(canary_hosts(&campus, 0.01).len(), campus.config.hosts_per_access);
+    }
+
+    #[test]
+    fn shadow_vetoes_overbroad_candidate_on_a_live_campus() {
+        let (known_good, model) = trained();
+        let outcome = guarded_road_test(
+            &Scenario::small(),
+            known_good,
+            Box::new(model),
+            GuardedRunConfig {
+                submissions: vec![(SimTime::from_secs(1), drop_everything())],
+                ..GuardedRunConfig::default()
+            },
+        );
+        assert!(
+            outcome.events.iter().any(|e| matches!(
+                e.kind,
+                RolloutEventKind::Vetoed(SloViolation::FalsePositiveRate)
+            )),
+            "timeline:\n{}",
+            outcome.timeline()
+        );
+        // Vetoed in shadow: only the known-good version was ever committed.
+        assert_eq!(outcome.registry_len, 1);
+        assert_eq!(outcome.final_stage, RolloutStage::Idle);
+        let robs = outcome.obs.rollout.as_ref().expect("rollout obs");
+        assert_eq!(robs.vetoes(), 1);
+        assert!(outcome.obs.prom().contains("rollout_vetoes_total 1"));
+    }
+
+    #[test]
+    fn guarded_run_is_deterministic() {
+        let (known_good, model) = trained();
+        let run = || {
+            let outcome = guarded_road_test(
+                &Scenario::small(),
+                known_good.clone(),
+                Box::new(model.clone()),
+                GuardedRunConfig {
+                    road: RoadTestConfig {
+                        install: InstallPolicy {
+                            failure_probability: 0.5,
+                            breaker: Some(CircuitBreakerPolicy::default()),
+                            ..InstallPolicy::default()
+                        },
+                        ..RoadTestConfig::default()
+                    },
+                    submissions: vec![(SimTime::from_secs(1), drop_everything())],
+                    ..GuardedRunConfig::default()
+                },
+            );
+            (outcome.timeline(), outcome.obs.prom(), outcome.obs.trace_json())
+        };
+        assert_eq!(run(), run(), "guarded run must be bit-identical across runs");
+    }
+}
