@@ -128,6 +128,28 @@ fn bench(c: &mut Criterion) {
         )
     });
 
+    // The same second of traffic under the sharded engine with up to 8
+    // shards (the campus partitions into its access/distribution
+    // subtrees). CI compares this against run_1s_campus_second: byte-equal
+    // stats are asserted inside the closure, and on multi-core runners the
+    // median must beat the sequential engine by the gate's factor.
+    c.bench_function("simulator/run_1s_campus_second_sharded", |b| {
+        b.iter_batched(
+            || {
+                let campus = small_campus();
+                (campus.net, injections.clone())
+            },
+            |(mut net, injections)| {
+                for inj in injections {
+                    net.inject(inj.at, inj.node, inj.packet);
+                }
+                net.run_sharded(&mut NullHooks, None, 8);
+                black_box(net.stats.delivered)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
     // The same second of campus traffic with the Observatory sink gated
     // off: the pair pins the instrumentation overhead of the event loop.
     // CI compares the two medians and fails if enabled costs >5% over

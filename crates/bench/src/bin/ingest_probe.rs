@@ -1,0 +1,48 @@
+//! Quick A/B of sequential vs parallel batch ingest outside criterion:
+//! best-of-N wall clock on the same 80k-record workload the datastore
+//! bench uses, for chasing ingest regressions without sampling noise.
+
+use campuslab::capture::{Direction, PacketRecord, TcpFlags};
+use campuslab::datastore::DataStore;
+use std::net::IpAddr;
+use std::time::Instant;
+
+fn records(n: u64) -> Vec<PacketRecord> {
+    (0..n)
+        .map(|i| PacketRecord {
+            ts_ns: i * 10_000,
+            direction: Direction::Inbound,
+            src: IpAddr::from([10, 1, (i % 16) as u8 + 1, (i % 200) as u8 + 10]),
+            dst: IpAddr::from([203, 0, 113, (i % 24) as u8 + 1]),
+            protocol: if i % 4 == 0 { 17 } else { 6 },
+            src_port: (1024 + (i * 31) % 60_000) as u16,
+            dst_port: [443, 80, 53, 22][(i % 4) as usize],
+            wire_len: 60 + (i % 1400) as u32,
+            ttl: 64,
+            tcp_flags: TcpFlags::default(),
+            flow_id: i / 20,
+            label_app: (i % 7 + 1) as u16,
+            label_attack: u16::from(i % 100 == 0),
+        })
+        .collect()
+}
+
+fn batches_of(recs: &[PacketRecord], batch: usize) -> Vec<Vec<PacketRecord>> {
+    recs.chunks(batch).map(|c| c.to_vec()).collect()
+}
+
+fn main() {
+    let big = records(80_000);
+    for workers in [1usize, 4] {
+        let mut best = f64::MAX;
+        for _ in 0..15 {
+            let batches = batches_of(&big, 10_000);
+            let t0 = Instant::now();
+            let mut ds = DataStore::new();
+            ds.ingest_packet_batches_with(batches, workers);
+            std::hint::black_box(ds.packet_count());
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("workers={workers}: best {best:.2} ms");
+    }
+}

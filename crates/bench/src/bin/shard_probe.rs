@@ -1,0 +1,58 @@
+//! Shard-engine probe: runs the bench campus second sequentially and
+//! under 1/2/4/8 shards, printing wall clock and the [`ShardReport`]
+//! (windows, serial phases, cross-shard traffic) for each, and asserting
+//! the final statistics are byte-identical throughout. The fastest way to
+//! see what the coordinator is doing on a given machine.
+
+use campuslab::netsim::prelude::*;
+use campuslab::traffic::{TrafficGenerator, WorkloadConfig};
+use std::time::Instant;
+
+fn small_campus() -> Campus {
+    Campus::build(CampusConfig {
+        dist_count: 2,
+        access_per_dist: 2,
+        hosts_per_access: 4,
+        external_hosts: 8,
+        ..CampusConfig::default()
+    })
+}
+
+fn main() {
+    let campus = small_campus();
+    let mut gen = TrafficGenerator::new(
+        &campus,
+        WorkloadConfig {
+            duration: SimDuration::from_secs(1),
+            sessions_per_sec: 20.0,
+            ..WorkloadConfig::default()
+        },
+    );
+    let injections = gen.generate().into_injections();
+
+    let mut net = small_campus().net;
+    for inj in injections.clone() {
+        net.inject(inj.at, inj.node, inj.packet);
+    }
+    let t0 = Instant::now();
+    net.run_sequential(&mut NullHooks, None);
+    let seq = net.stats;
+    println!("sequential: {:?} delivered={}", t0.elapsed(), seq.delivered);
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut net = small_campus().net;
+        for inj in injections.clone() {
+            net.inject(inj.at, inj.node, inj.packet);
+        }
+        let t0 = Instant::now();
+        net.run_sharded(&mut NullHooks, None, shards);
+        let elapsed = t0.elapsed();
+        println!(
+            "sharded({shards}): {:?} delivered={} report={:?}",
+            elapsed,
+            net.stats.delivered,
+            net.shard_report()
+        );
+        assert_eq!(net.stats, seq, "stats diverged at {shards} shards");
+    }
+}

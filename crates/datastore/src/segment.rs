@@ -10,10 +10,12 @@
 //! truncates whole segments instead of compacting one flat table.
 //!
 //! Batch ingest shards segment construction across worker threads with
-//! [`campuslab_netsim::par::parallel_map_with`]; construction of one
-//! segment depends only on its own chunk and the pre-assigned sequence
-//! range, so the resulting store is byte-identical at any worker count
-//! (the same contract the experiment runner keeps, pinned by
+//! [`campuslab_netsim::par::parallel_map_vec`]: each worker *owns* its
+//! batch, sorts it in place and moves the records into segments, so the
+//! parallel path allocates no more than the sequential one. Construction
+//! of one segment depends only on its own chunk and the pre-assigned
+//! sequence range, so the resulting store is byte-identical at any worker
+//! count (the same contract the experiment runner keeps, pinned by
 //! `tests/par_ingest.rs`).
 
 use crate::query::{PacketQuery, QueryStats};
@@ -124,15 +126,14 @@ impl PacketSegment {
         }
     }
 
-    /// Build a segment from `(record, seq)` pairs already sorted by
-    /// `(ts_ns, seq)`. Clones out of the shared slice so builds can run
-    /// on parallel workers over chunks of one sorted batch.
-    fn build_from_pairs(pairs: &[(PacketRecord, u64)]) -> Self {
+    /// Build a segment from owned `(record, seq)` pairs already sorted by
+    /// `(ts_ns, seq)`; records move straight into the segment.
+    fn build_from_pairs(pairs: Vec<(PacketRecord, u64)>) -> Self {
         let mut seg = PacketSegment::empty();
         seg.recs.reserve(pairs.len());
         seg.seqs.reserve(pairs.len());
         for (rec, seq) in pairs {
-            seg.push(rec.clone(), *seq);
+            seg.push(rec, seq);
         }
         seg
     }
@@ -267,11 +268,16 @@ fn sort_pairs(batch: Vec<PacketRecord>, start_seq: u64) -> Vec<(PacketRecord, u6
 }
 
 /// Build the sealed segments for one sorted batch, chunked at capacity.
-fn build_segments(pairs: &[(PacketRecord, u64)], workers: usize) -> Vec<PacketSegment> {
-    let chunks: Vec<&[(PacketRecord, u64)]> = pairs.chunks(SEGMENT_CAPACITY).collect();
-    par::parallel_map_with(&chunks, workers.min(chunks.len()), |_, c| {
-        PacketSegment::build_from_pairs(c)
-    })
+/// The batch is consumed: chunks are split off and moved into segments.
+fn build_segments(mut pairs: Vec<(PacketRecord, u64)>, workers: usize) -> Vec<PacketSegment> {
+    let mut chunks: Vec<Vec<(PacketRecord, u64)>> = Vec::new();
+    while pairs.len() > SEGMENT_CAPACITY {
+        let tail = pairs.split_off(SEGMENT_CAPACITY);
+        chunks.push(std::mem::replace(&mut pairs, tail));
+    }
+    chunks.push(pairs);
+    let workers = workers.min(chunks.len());
+    par::parallel_map_vec(chunks, workers, |_, c| PacketSegment::build_from_pairs(c))
 }
 
 impl PacketChain {
@@ -295,7 +301,7 @@ impl PacketChain {
             }
         }
         let workers = par::worker_count(pairs.len() / SEGMENT_CAPACITY + 1);
-        self.segs.extend(build_segments(&pairs, workers));
+        self.segs.extend(build_segments(pairs, workers));
     }
 
     /// Ingest many batches, sharding segment construction across `workers`
@@ -313,9 +319,8 @@ impl PacketChain {
             items.push((batch, start));
         }
         let built: Vec<Vec<PacketSegment>> =
-            par::parallel_map_with(&items, workers, |_, (batch, start)| {
-                let pairs = sort_pairs(batch.clone(), *start);
-                build_segments(&pairs, 1)
+            par::parallel_map_vec(items, workers, |_, (batch, start)| {
+                build_segments(sort_pairs(batch, start), 1)
             });
         for segs in built {
             self.segs.extend(segs);

@@ -53,6 +53,7 @@ pub mod fxhash;
 pub mod network;
 pub mod observe;
 pub mod par;
+pub mod shard;
 pub mod topology;
 pub mod chaos;
 
@@ -68,6 +69,7 @@ pub mod prelude {
     };
     pub use crate::node::{FilterAction, NodeId, PacketFilter};
     pub use crate::observe::NetObs;
+    pub use crate::shard::ShardReport;
     pub use crate::packet::{
         GroundTruth, NetworkHeader, Packet, PacketBuilder, Payload, TransportHeader,
     };

@@ -62,7 +62,14 @@ impl QueueDiscipline {
 /// EWMA weight for RED's average queue estimate.
 const RED_WEIGHT: f64 = 0.05;
 
-/// One direction's queue.
+/// One direction's queue plus all per-direction randomized state.
+///
+/// The RNG and the live burst channel are *per direction* rather than
+/// per network: a direction's random stream then depends only on the
+/// network seed and the (link, direction) lane, never on how offers on
+/// unrelated links interleave. That independence is what lets the sharded
+/// engine hand each direction to its owning shard and still reproduce the
+/// sequential run bit-for-bit.
 #[derive(Debug)]
 struct DirQueue {
     discipline: QueueDiscipline,
@@ -71,6 +78,14 @@ struct DirQueue {
     avg_bytes: f64,
     /// Transmitter busy until this instant.
     busy_until: SimTime,
+    /// This direction's private random stream (loss, RED).
+    rng: StdRng,
+    /// Live Gilbert–Elliott channel state, synced from the installed
+    /// `FaultModel::burst` template on first use / parameter change.
+    burst: Option<GilbertElliott>,
+    /// Transmissions started in this direction; numbers the canonical
+    /// (tx_done, arrive) event pair of each transmission.
+    tx_seq: u64,
 }
 
 impl DirQueue {
@@ -81,18 +96,16 @@ impl DirQueue {
             bytes: 0,
             avg_bytes: 0.0,
             busy_until: SimTime::ZERO,
+            rng: rand::SeedableRng::seed_from_u64(0),
+            burst: None,
+            tx_seq: 0,
         }
     }
 
     /// Decide admission and enqueue; a rejected packet is handed back to
     /// the caller rather than cloned up front, which keeps the admit path
     /// copy-free.
-    fn enqueue(
-        &mut self,
-        pkt: Box<Packet>,
-        now: SimTime,
-        rng: &mut StdRng,
-    ) -> Result<(), Box<Packet>> {
+    fn enqueue(&mut self, pkt: Box<Packet>, now: SimTime) -> Result<(), Box<Packet>> {
         let len = pkt.wire_len();
         let admitted = match self.discipline {
             QueueDiscipline::DropTail { capacity_bytes } => self.bytes + len <= capacity_bytes,
@@ -113,7 +126,7 @@ impl DirQueue {
                 } else {
                     let frac = (self.avg_bytes - min_thresh_bytes as f64)
                         / (max_thresh_bytes - min_thresh_bytes).max(1) as f64;
-                    rng.gen::<f64>() >= frac * max_p
+                    self.rng.gen::<f64>() >= frac * max_p
                 }
             }
         };
@@ -214,6 +227,16 @@ impl GilbertElliott {
     pub fn in_bad_state(&self) -> bool {
         self.in_bad
     }
+
+    /// True when `other` has identical transition/loss parameters (state
+    /// excluded) — the check a live per-direction channel uses to decide
+    /// whether its installed template changed underneath it.
+    fn same_params(&self, other: &GilbertElliott) -> bool {
+        self.p_enter_bad == other.p_enter_bad
+            && self.p_exit_bad == other.p_exit_bad
+            && self.loss_good == other.loss_good
+            && self.loss_bad == other.loss_bad
+    }
 }
 
 /// Random fault behaviour of a link.
@@ -255,18 +278,31 @@ impl FaultModel {
         self.forced_down || self.outages.iter().any(|o| o.contains(now))
     }
 
-    /// Combined drop decision for one offered packet. The drop-free fast
+    /// Combined drop decision for one offered packet, drawing randomness
+    /// from the offering direction's private stream. The drop-free fast
     /// path pays only a handful of flag compares here.
-    fn should_drop(&mut self, now: SimTime, rng: &mut StdRng) -> bool {
+    fn should_drop(&self, now: SimTime, q: &mut DirQueue) -> bool {
         if self.forced_down || (!self.outages.is_empty() && self.is_down(now)) {
             return true;
         }
-        if let Some(burst) = self.burst.as_mut() {
-            if burst.should_drop(rng) {
+        // Sync the direction's live burst channel with the installed
+        // template: install / removal / parameter change each reset the
+        // live state to the template's.
+        match (&self.burst, &mut q.burst) {
+            (None, live) => {
+                if live.is_some() {
+                    *live = None;
+                }
+            }
+            (Some(t), Some(live)) if live.same_params(t) => {}
+            (Some(t), live) => *live = Some(t.clone()),
+        }
+        if let Some(burst) = q.burst.as_mut() {
+            if burst.should_drop(&mut q.rng) {
                 return true;
             }
         }
-        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+        self.drop_probability > 0.0 && q.rng.gen::<f64>() < self.drop_probability
     }
 
     /// Effective rate multiplier at `now`: the chaos factor combined with
@@ -385,24 +421,25 @@ impl Link {
         }
     }
 
-    /// Offer a packet for transmission in `dir` at `now`.
+    /// Offer a packet for transmission in `dir` at `now`, drawing any
+    /// randomness (loss, RED) from that direction's private stream.
     ///
     /// Returns what happened; when `StartedTransmit` is returned the caller
     /// must schedule `tx_done` at `now + serialization` and delivery at
     /// `now + serialization + propagation`.
-    pub fn offer(&mut self, dir: Dir, pkt: Box<Packet>, now: SimTime, rng: &mut StdRng) -> Offer {
-        if self.fault.should_drop(now, rng) {
+    pub fn offer(&mut self, dir: Dir, pkt: Box<Packet>, now: SimTime) -> Offer {
+        let q = &mut self.queues[dir.index()];
+        if self.fault.should_drop(now, q) {
             self.stats[dir.index()].dropped_fault += 1;
             return Offer::DroppedFault(pkt);
         }
-        let q = &mut self.queues[dir.index()];
         if q.busy_until <= now && q.packets.is_empty() {
             // Idle transmitter: the packet goes straight to the wire.
             q.bytes += pkt.wire_len();
             q.packets.push_back((pkt, now));
             Offer::StartedTransmit
         } else {
-            match q.enqueue(pkt, now, rng) {
+            match q.enqueue(pkt, now) {
                 Ok(()) => Offer::Queued,
                 Err(pkt) => {
                     self.stats[dir.index()].dropped_queue += 1;
@@ -413,24 +450,28 @@ impl Link {
     }
 
     /// Begin transmitting the head-of-line packet at `now`, returning the
-    /// packet, its serialization time, and total one-way latency. The caller
-    /// schedules the corresponding `tx_done` and delivery events.
+    /// packet, its serialization time, total one-way latency, and this
+    /// transmission's per-direction ordinal (the canonical event `seq`).
+    /// The caller schedules the corresponding `tx_done` and delivery
+    /// events.
     pub fn start_transmit(
         &mut self,
         dir: Dir,
         now: SimTime,
-    ) -> Option<(Box<Packet>, SimDuration, SimDuration)> {
+    ) -> Option<(Box<Packet>, SimDuration, SimDuration, u64)> {
         let rate = self.effective_rate_bps(now);
         let q = &mut self.queues[dir.index()];
         let (pkt, enqueued_at) = q.dequeue()?;
         let tx = SimDuration::transmission(pkt.wire_len(), rate);
         q.busy_until = now + tx;
+        let seq = q.tx_seq;
+        q.tx_seq += 1;
         let s = &mut self.stats[dir.index()];
         s.tx_packets += 1;
         s.tx_bytes += pkt.wire_len() as u64;
         s.busy += tx;
         s.queue_delay += now - enqueued_at;
-        Some((pkt, tx, tx + self.propagation))
+        Some((pkt, tx, tx + self.propagation, seq))
     }
 
     /// The rate the transmitter runs at right now, after brownouts. The
@@ -452,6 +493,60 @@ impl Link {
     pub fn queued_bytes(&self, dir: Dir) -> usize {
         self.queues[dir.index()].bytes
     }
+
+    /// Seed both directions' random streams from the owning network's
+    /// seed. The stream depends only on `(network seed, link id,
+    /// direction)`, so any engine that replays the same offers in the same
+    /// per-direction order reproduces the same losses.
+    pub(crate) fn reseed_dirs(&mut self, network_seed: u64) {
+        for dir in [Dir::AtoB, Dir::BtoA] {
+            let lane = (self.id.0 as u64) * 2 + dir.index() as u64;
+            let seed = network_seed ^ (lane + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            self.queues[dir.index()].rng = rand::SeedableRng::seed_from_u64(seed);
+        }
+    }
+
+    /// True when neither direction holds or is transmitting a packet —
+    /// the state in which the link can be split across shards.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.queues.iter().all(|q| q.packets.is_empty())
+    }
+
+    /// A structural copy for a shard: same configuration, fault model,
+    /// per-direction RNG/burst/tx state and stats, but empty packet
+    /// queues. Only valid on a quiescent link (asserted).
+    pub(crate) fn shard_clone(&self) -> Link {
+        assert!(self.is_quiescent(), "cannot split a link with packets in flight");
+        let clone_dir = |q: &DirQueue| DirQueue {
+            discipline: q.discipline,
+            packets: std::collections::VecDeque::new(),
+            bytes: 0,
+            avg_bytes: q.avg_bytes,
+            busy_until: q.busy_until,
+            rng: q.rng.clone(),
+            burst: q.burst.clone(),
+            tx_seq: q.tx_seq,
+        };
+        Link {
+            id: self.id,
+            a: self.a,
+            b: self.b,
+            rate_bps: self.rate_bps,
+            propagation: self.propagation,
+            fault: self.fault.clone(),
+            queues: [clone_dir(&self.queues[0]), clone_dir(&self.queues[1])],
+            stats: self.stats,
+        }
+    }
+
+    /// Take direction `dir`'s live state (queue, RNG, burst, tx counter,
+    /// stats) from `other`, the shard copy that owned that direction.
+    pub(crate) fn adopt_dir(&mut self, dir: Dir, other: &mut Link) {
+        debug_assert_eq!(self.id, other.id);
+        let i = dir.index();
+        self.queues[i] = std::mem::replace(&mut other.queues[i], DirQueue::new(self.queues[i].discipline));
+        self.stats[i] = other.stats[i];
+    }
 }
 
 #[cfg(test)]
@@ -459,7 +554,6 @@ mod tests {
     use super::*;
     use crate::node::NodeId;
     use crate::packet::{GroundTruth, PacketBuilder, Payload};
-    use rand::SeedableRng;
     use std::net::Ipv4Addr;
 
     fn pkt(bytes: usize) -> Packet {
@@ -489,12 +583,12 @@ mod tests {
     #[test]
     fn idle_link_starts_transmit_immediately() {
         let mut l = link(1_000_000_000, 100_000);
-        let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO),
             Offer::StartedTransmit
         );
-        let (p, tx, total) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        let (p, tx, total, seq) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        assert_eq!(seq, 0);
         // 958 + 42 header bytes = 1000 bytes at 1 Gbps = 8 us.
         assert_eq!(p.wire_len(), 1000);
         assert_eq!(tx, SimDuration::from_micros(8));
@@ -504,18 +598,17 @@ mod tests {
     #[test]
     fn busy_link_queues_then_drops_when_full() {
         let mut l = link(1_000_000, 2000);
-        let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO),
             Offer::StartedTransmit
         );
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         // Transmitter busy for 8ms: the next offers queue until capacity.
-        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(1), &mut rng), Offer::Queued);
-        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(2), &mut rng), Offer::Queued);
+        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(1)), Offer::Queued);
+        assert_eq!(l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(2)), Offer::Queued);
         let rejected = Box::new(pkt(958));
         let rejected_id = rejected.id;
-        match l.offer(Dir::AtoB, rejected, SimTime(3), &mut rng) {
+        match l.offer(Dir::AtoB, rejected, SimTime(3)) {
             Offer::DroppedQueue(p) => assert_eq!(p.id, rejected_id),
             other => panic!("expected queue drop, got {other:?}"),
         }
@@ -526,12 +619,11 @@ mod tests {
     #[test]
     fn directions_are_independent() {
         let mut l = link(1_000_000, 2000);
-        let mut rng = StdRng::seed_from_u64(1);
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         // Reverse direction is still idle.
         assert_eq!(
-            l.offer(Dir::BtoA, Box::new(pkt(100)), SimTime(1), &mut rng),
+            l.offer(Dir::BtoA, Box::new(pkt(100)), SimTime(1)),
             Offer::StartedTransmit
         );
     }
@@ -540,9 +632,8 @@ mod tests {
     fn fault_drops_and_outages() {
         let mut l = link(1_000_000_000, 100_000);
         l.fault.drop_probability = 1.0;
-        let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
-            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO),
             Offer::DroppedFault(_)
         ));
         l.fault.drop_probability = 0.0;
@@ -552,7 +643,7 @@ mod tests {
         });
         assert!(l.fault.is_down(SimTime::from_secs(15)));
         assert!(matches!(
-            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::from_secs(15), &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::from_secs(15)),
             Offer::DroppedFault(_)
         ));
         assert!(!l.fault.is_down(SimTime::from_secs(20)));
@@ -574,14 +665,13 @@ mod tests {
                 max_p: 1.0,
             },
         );
-        let mut rng = StdRng::seed_from_u64(42);
         // Saturate the transmitter, then flood the queue.
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         let mut dropped = 0;
         let mut queued = 0;
         for i in 0..200 {
-            match l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(i), &mut rng) {
+            match l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime(i)) {
                 Offer::Queued => queued += 1,
                 Offer::DroppedQueue(_) => dropped += 1,
                 other => panic!("unexpected {other:?}"),
@@ -595,13 +685,13 @@ mod tests {
     #[test]
     fn utilization_and_queue_delay_accounting() {
         let mut l = link(8_000_000, 1_000_000); // 1 byte per microsecond
-        let mut rng = StdRng::seed_from_u64(1);
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO);
         l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO);
         // Second packet waits 1000 us for the first to serialize.
         let busy_until = SimTime::from_micros(1000);
-        let (_, _, _) = l.start_transmit(Dir::AtoB, busy_until).unwrap();
+        let (_, _, _, seq) = l.start_transmit(Dir::AtoB, busy_until).unwrap();
+        assert_eq!(seq, 1);
         let s = &l.stats[0];
         assert_eq!(s.tx_packets, 2);
         assert_eq!(s.tx_bytes, 2000);
@@ -626,10 +716,9 @@ mod tests {
         let mut l = link(1_000_000_000, 1_000_000);
         // Sticky bad state with certain loss; near-lossless good state.
         l.fault.burst = Some(GilbertElliott::new(0.02, 0.2, 0.0, 1.0));
-        let mut rng = StdRng::seed_from_u64(7);
         let mut outcomes = Vec::new();
         for i in 0..2000u64 {
-            match l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(i), &mut rng) {
+            match l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(i)) {
                 Offer::DroppedFault(_) => outcomes.push(true),
                 _ => {
                     outcomes.push(false);
@@ -655,15 +744,14 @@ mod tests {
     #[test]
     fn brownout_slows_transmission() {
         let mut l = link(1_000_000_000, 1_000_000);
-        let mut rng = StdRng::seed_from_u64(1);
         l.fault.rate_factor = 0.1;
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO, &mut rng);
-        let (_, tx, _) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::ZERO);
+        let (_, tx, _, _) = l.start_transmit(Dir::AtoB, SimTime::ZERO).unwrap();
         // 1000 bytes at 100 Mbps (10% of 1 Gbps) = 80 us.
         assert_eq!(tx, SimDuration::from_micros(80));
         l.fault.rate_factor = 1.0;
-        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::from_secs(1), &mut rng);
-        let (_, tx, _) = l.start_transmit(Dir::AtoB, SimTime::from_secs(1)).unwrap();
+        l.offer(Dir::AtoB, Box::new(pkt(958)), SimTime::from_secs(1));
+        let (_, tx, _, _) = l.start_transmit(Dir::AtoB, SimTime::from_secs(1)).unwrap();
         assert_eq!(tx, SimDuration::from_micros(8));
     }
 
@@ -683,16 +771,15 @@ mod tests {
     #[test]
     fn forced_down_drops_everything_until_cleared() {
         let mut l = link(1_000_000_000, 1_000_000);
-        let mut rng = StdRng::seed_from_u64(1);
         l.fault.forced_down = true;
         assert!(l.fault.is_down(SimTime::ZERO));
         assert!(matches!(
-            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO, &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime::ZERO),
             Offer::DroppedFault(_)
         ));
         l.fault.forced_down = false;
         assert_eq!(
-            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(1), &mut rng),
+            l.offer(Dir::AtoB, Box::new(pkt(10)), SimTime(1)),
             Offer::StartedTransmit
         );
     }

@@ -6,14 +6,16 @@
 //! keeps the borrow structure simple and every run deterministic.
 
 use crate::chaos::ChaosAction;
-use crate::event::EventQueue;
+use crate::event::{EventKey, EventQueue};
 use crate::link::{Dir, Link, LinkId, Offer};
 use crate::node::{FilterAction, Node, NodeId, NodeKind, PacketFilter};
 use crate::observe::NetObs;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Retired `Box<Packet>` allocations kept for reuse; bounds the arena so
+/// a burst does not pin memory forever.
+pub(crate) const PACKET_POOL_CAP: usize = 8192;
 
 /// Why a packet failed to reach its destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,7 +93,7 @@ pub enum Command {
 /// Command buffer handed to every hook invocation.
 #[derive(Default)]
 pub struct Commands {
-    items: Vec<Command>,
+    pub(crate) items: Vec<Command>,
 }
 
 impl Commands {
@@ -141,24 +143,34 @@ pub trait SimHooks {
 
     /// A timer requested via [`Commands::set_timer`] fired.
     fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {}
+
+    /// True when every callback is a no-op ([`NullHooks`]). The sharded
+    /// engine skips hook logging entirely for such runs.
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// A no-op hook set for runs that only need final statistics.
 pub struct NullHooks;
 
-impl SimHooks for NullHooks {}
+impl SimHooks for NullHooks {
+    fn is_null(&self) -> bool {
+        true
+    }
+}
 
 /// Events keep packets boxed so a heap entry is pointer-sized: sifting
 /// the binary heap moves words, not whole packets.
-enum Event {
+pub(crate) enum Event {
     Inject { node: NodeId, packet: Box<Packet> },
     TxDone { link: LinkId, dir: Dir },
     Arrive { link: LinkId, dir: Dir, packet: Box<Packet> },
     Timer { token: u64 },
     /// A chaos-plan fault transition (link flap, node crash/recover,
     /// brownout). Riding the same queue as packet events keeps chaos runs
-    /// byte-deterministic: the transition lands at exactly one (time, seq)
-    /// slot regardless of how the run is driven.
+    /// byte-deterministic: the transition lands at exactly one canonical
+    /// key regardless of how the run is driven.
     Chaos { action: ChaosAction },
 }
 
@@ -166,9 +178,25 @@ enum Event {
 pub struct Network {
     pub(crate) nodes: Vec<Node>,
     pub(crate) links: Vec<Link>,
-    queue: EventQueue<Event>,
-    tapped: Vec<bool>,
-    rng: StdRng,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) tapped: Vec<bool>,
+    /// The seed per-direction link RNG streams derive from.
+    pub(crate) seed: u64,
+    /// Root-event counter: injections, timers and chaos transitions are
+    /// numbered in program order, which is the canonical tie-break for
+    /// simultaneous stimuli.
+    pub(crate) root_seq: u64,
+    /// Retired packet boxes reused by [`Network::inject`]-style paths.
+    /// Deliberately `Box<Packet>`: the pool exists to recycle the heap
+    /// allocation itself, which events carry by pointer.
+    #[allow(clippy::vec_box)]
+    pub(crate) pool: Vec<Box<Packet>>,
+    /// Present only while this network runs as one shard of a sharded
+    /// execution: cross-shard routing tables, the outbox, and the hook log
+    /// (see `crate::shard`).
+    pub(crate) splice: Option<Box<crate::shard::Splice>>,
+    /// Counters from the most recent sharded run (see `crate::shard`).
+    pub(crate) shard_report: Option<crate::shard::ShardReport>,
     pub stats: NetStats,
     /// Observatory sink: the same counters as `stats` plus histograms and
     /// chaos/event telemetry, renderable as a deterministic metrics dump.
@@ -184,7 +212,11 @@ impl Network {
             links: Vec::new(),
             queue: EventQueue::new(),
             tapped: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            root_seq: 0,
+            pool: Vec::new(),
+            splice: None,
+            shard_report: None,
             stats: NetStats::default(),
             obs: NetObs::new(),
         }
@@ -199,9 +231,10 @@ impl Network {
     }
 
     /// Add a link; used by the topology builder.
-    pub(crate) fn push_link(&mut self, link: Link) -> LinkId {
+    pub(crate) fn push_link(&mut self, mut link: Link) -> LinkId {
         let id = LinkId(self.links.len());
         debug_assert_eq!(link.id, id);
+        link.reseed_dirs(self.seed);
         self.nodes[link.a.0].ports.push(id);
         self.nodes[link.b.0].ports.push(id);
         self.links.push(link);
@@ -255,28 +288,58 @@ impl Network {
         self.tapped[link.0] = enabled;
     }
 
+    /// The canonical key of the next root event at `time`.
+    pub(crate) fn next_root_key(&mut self, time: SimTime) -> EventKey {
+        let key = EventKey::root(time, self.root_seq);
+        self.root_seq += 1;
+        key
+    }
+
+    /// Box a packet, reusing a retired allocation when one is pooled.
+    pub(crate) fn box_packet(&mut self, packet: Packet) -> Box<Packet> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                *b = packet;
+                b
+            }
+            None => Box::new(packet),
+        }
+    }
+
+    /// Retire a packet box into the reuse pool.
+    fn retire(&mut self, packet: Box<Packet>) {
+        if self.pool.len() < PACKET_POOL_CAP {
+            self.pool.push(packet);
+        }
+    }
+
     /// Schedule a packet injection: the packet departs `node` at `at`.
     ///
     /// The packet is boxed here, once; from this point it moves through
     /// queues, events and hooks as a pointer and is never copied.
     pub fn inject(&mut self, at: SimTime, node: NodeId, packet: Packet) {
-        self.queue.schedule(at, Event::Inject { node, packet: Box::new(packet) });
+        let key = self.next_root_key(at);
+        let packet = self.box_packet(packet);
+        self.queue.schedule(key, Event::Inject { node, packet });
     }
 
     /// Schedule an `on_timer` callback.
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
-        self.queue.schedule(at, Event::Timer { token });
+        let key = self.next_root_key(at);
+        self.queue.schedule(key, Event::Timer { token });
     }
 
     /// Schedule a chaos fault transition; usually called via
     /// [`crate::chaos::ChaosPlan::apply_to`].
     pub fn schedule_chaos(&mut self, at: SimTime, action: ChaosAction) {
-        self.queue.schedule(at, Event::Chaos { action });
+        let key = self.next_root_key(at);
+        self.queue.schedule(key, Event::Chaos { action });
     }
 
-    /// Apply a chaos transition immediately.
-    fn apply_chaos(&mut self, action: ChaosAction) {
-        self.obs.on_chaos(&action);
+    /// Mutate fault state for a chaos transition, without telemetry.
+    /// The sharded coordinator applies one transition to every shard's
+    /// copy of the affected element but counts it only once.
+    pub(crate) fn apply_chaos_quiet(&mut self, action: ChaosAction) {
         match action {
             ChaosAction::LinkDown(l) => self.links[l.0].fault.forced_down = true,
             ChaosAction::LinkUp(l) => self.links[l.0].fault.forced_down = false,
@@ -287,6 +350,12 @@ impl Network {
             }
             ChaosAction::BrownoutEnd(link) => self.links[link.0].fault.rate_factor = 1.0,
         }
+    }
+
+    /// Apply a chaos transition immediately.
+    fn apply_chaos(&mut self, action: ChaosAction) {
+        self.obs.on_chaos(&action);
+        self.apply_chaos_quiet(action);
     }
 
     /// Attach an ingress packet program to a node immediately.
@@ -300,7 +369,21 @@ impl Network {
     }
 
     /// Run until the event queue drains or the clock passes `until`.
+    ///
+    /// When the `CAMPUSLAB_SHARDS` environment variable is set to `n ≥ 1`,
+    /// the run is transparently routed through the sharded engine with `n`
+    /// shards; the determinism contract guarantees identical results.
     pub fn run(&mut self, hooks: &mut dyn SimHooks, until: Option<SimTime>) {
+        if let Some(n) = crate::shard::shards_from_env() {
+            self.run_sharded(hooks, until, n);
+            return;
+        }
+        self.run_sequential(hooks, until);
+    }
+
+    /// The single-queue event loop (also the fallback engine for
+    /// topologies the partitioner cannot split).
+    pub fn run_sequential(&mut self, hooks: &mut dyn SimHooks, until: Option<SimTime>) {
         let mut cmds = Commands::default();
         while let Some(t) = self.queue.peek_time() {
             if let Some(u) = until {
@@ -308,8 +391,8 @@ impl Network {
                     break;
                 }
             }
-            let (now, event) = self.queue.pop().expect("peeked event vanished");
-            self.dispatch(now, event, hooks, &mut cmds);
+            let (key, event) = self.queue.pop().expect("peeked event vanished");
+            self.dispatch(key.time, event, hooks, &mut cmds);
             self.apply(std::mem::take(&mut cmds.items));
         }
     }
@@ -320,7 +403,7 @@ impl Network {
         self.stats
     }
 
-    fn apply(&mut self, items: Vec<Command>) {
+    pub(crate) fn apply(&mut self, items: Vec<Command>) {
         for cmd in items {
             match cmd {
                 Command::InstallFilter(node, filter) => self.install_filter(node, filter),
@@ -331,7 +414,7 @@ impl Network {
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, event: Event, hooks: &mut dyn SimHooks, cmds: &mut Commands) {
+    pub(crate) fn dispatch(&mut self, now: SimTime, event: Event, hooks: &mut dyn SimHooks, cmds: &mut Commands) {
         self.obs.on_event();
         match event {
             Event::Inject { node, mut packet } => {
@@ -341,7 +424,7 @@ impl Network {
                 // needs no side lookup table keyed by packet id.
                 packet.injected_at = now;
                 if self.nodes[node.0].is_down(now) {
-                    self.drop_node_down(now, node, &packet, hooks, cmds);
+                    self.drop_node_down(now, node, packet, hooks, cmds);
                     return;
                 }
                 self.forward(now, node, packet, hooks, cmds);
@@ -368,14 +451,15 @@ impl Network {
         &mut self,
         now: SimTime,
         node: NodeId,
-        packet: &Packet,
+        packet: Box<Packet>,
         hooks: &mut dyn SimHooks,
         cmds: &mut Commands,
     ) {
         self.nodes[node.0].stats.dropped_node_down += 1;
         self.stats.dropped_node_down += 1;
         self.obs.on_drop(DropReason::NodeDown);
-        hooks.on_drop(now, DropReason::NodeDown, packet, cmds);
+        hooks.on_drop(now, DropReason::NodeDown, &packet, cmds);
+        self.retire(packet);
     }
 
     /// A packet arrives at `node` from the wire.
@@ -389,7 +473,7 @@ impl Network {
     ) {
         // A down node swallows everything before its pipeline runs.
         if self.nodes[node.0].is_down(now) {
-            self.drop_node_down(now, node, &packet, hooks, cmds);
+            self.drop_node_down(now, node, packet, hooks, cmds);
             return;
         }
         // Ingress program first, exactly like a programmable ASIC.
@@ -399,6 +483,7 @@ impl Network {
                 self.stats.dropped_filter += 1;
                 self.obs.on_drop(DropReason::Filter);
                 hooks.on_drop(now, DropReason::Filter, &packet, cmds);
+                self.retire(packet);
                 return;
             }
         }
@@ -422,6 +507,7 @@ impl Network {
                     self.obs.on_drop(DropReason::NoRoute);
                     hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
                 }
+                self.retire(packet);
             }
             NodeKind::Switch { .. } => {
                 if !packet.network.decrement_ttl() {
@@ -429,6 +515,7 @@ impl Network {
                     self.stats.dropped_ttl += 1;
                     self.obs.on_drop(DropReason::Ttl);
                     hooks.on_drop(now, DropReason::Ttl, &packet, cmds);
+                    self.retire(packet);
                     return;
                 }
                 self.nodes[node.0].stats.forwarded += 1;
@@ -451,13 +538,14 @@ impl Network {
             self.stats.dropped_no_route += 1;
             self.obs.on_drop(DropReason::NoRoute);
             hooks.on_drop(now, DropReason::NoRoute, &packet, cmds);
+            self.retire(packet);
             return;
         };
         let link = &mut self.links[link_id.0];
         let dir = link.dir_from(node);
         // The link hands a rejected packet back, so the happy path moves
         // the packet by value with no speculative clone.
-        match link.offer(dir, packet, now, &mut self.rng) {
+        match link.offer(dir, packet, now) {
             Offer::StartedTransmit => {
                 self.obs.on_enqueue_depth(self.links[link_id.0].queued_bytes(dir) as u64);
                 self.begin_transmission(now, link_id, dir);
@@ -469,20 +557,44 @@ impl Network {
                 self.stats.dropped_queue += 1;
                 self.obs.on_drop(DropReason::Queue);
                 hooks.on_drop(now, DropReason::Queue, &packet, cmds);
+                self.retire(packet);
             }
             Offer::DroppedFault(packet) => {
                 self.stats.dropped_fault += 1;
                 self.obs.on_drop(DropReason::Fault);
                 hooks.on_drop(now, DropReason::Fault, &packet, cmds);
+                self.retire(packet);
             }
         }
     }
 
     fn begin_transmission(&mut self, now: SimTime, link: LinkId, dir: Dir) {
-        if let Some((packet, tx, total)) = self.links[link.0].start_transmit(dir, now) {
-            self.queue.schedule(now + tx, Event::TxDone { link, dir });
+        if let Some((packet, tx, total, seq)) = self.links[link.0].start_transmit(dir, now) {
+            let lane = (link.0 * 2 + dir.index()) as u32;
             self.queue
-                .schedule(now + total, Event::Arrive { link, dir, packet });
+                .schedule(EventKey::tx_done(now + tx, lane, seq), Event::TxDone { link, dir });
+            let at = now + total;
+            let key = EventKey::arrive(at, lane, seq);
+            if let Some(sp) = self.splice.as_mut() {
+                // Cross-shard wire: the arrival belongs to the receiving
+                // shard and is exchanged at the window barrier. The
+                // transmit-complete above stays local (the transmitter is
+                // ours either way).
+                if let Some(dst_shard) = sp.remote_shard(lane) {
+                    sp.outbox.push(crate::shard::CrossPacket {
+                        dst_shard,
+                        key,
+                        link,
+                        dir,
+                        packet,
+                    });
+                    return;
+                }
+                if self.tapped[link.0] {
+                    sp.note_tapped_arrival(at);
+                }
+            }
+            self.queue.schedule(key, Event::Arrive { link, dir, packet });
         }
     }
 }

@@ -61,6 +61,47 @@ where
         .collect()
 }
 
+/// [`parallel_map_with`] over *owned* items: each worker takes its item
+/// by value, so the closure can consume it (sort a batch in place, move
+/// records into a segment) instead of cloning out of a shared slice.
+/// Input order is preserved in the output.
+pub fn parallel_map_vec<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = work.get(i) else { break };
+                let item = cell
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index claimed once");
+                *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
 /// How many workers a fan-out over `items` should use: the
 /// `CAMPUSLAB_JOBS` environment variable when set, otherwise the
 /// machine's available parallelism, both capped at the item count.
@@ -121,6 +162,20 @@ mod tests {
             })
             .collect();
         assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn owned_map_consumes_and_preserves_order() {
+        // Non-Clone payloads prove the closure really takes ownership.
+        struct NoClone(usize);
+        let items: Vec<NoClone> = (0..64).map(NoClone).collect();
+        let out = parallel_map_vec(items, 4, |i, t| {
+            assert_eq!(i, t.0);
+            t.0 * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<NoClone> = Vec::new();
+        assert!(parallel_map_vec(empty, 4, |_, t| t.0).is_empty());
     }
 
     #[test]

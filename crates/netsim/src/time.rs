@@ -85,7 +85,11 @@ impl SimDuration {
         self.0
     }
 
-    /// The time a given number of bytes occupies a link of `bits_per_sec`.
+    /// The time a given number of bytes occupies a link of `bits_per_sec`,
+    /// never less than one nanosecond: a transmission that rounded to zero
+    /// would let an event spawn a causal successor at its own timestamp,
+    /// which the canonical event order (and with it the sharded engine's
+    /// determinism contract) forbids.
     pub fn transmission(bytes: usize, bits_per_sec: u64) -> Self {
         debug_assert!(bits_per_sec > 0, "link rate must be positive");
         let bytes = bytes as u64;
@@ -93,10 +97,10 @@ impl SimDuration {
         // exists for pathological byte counts, so the per-packet cost is a
         // single u64 divide instead of a u128 one.
         if bytes <= u64::MAX / 8_000_000_000 {
-            SimDuration(bytes * 8_000_000_000 / bits_per_sec)
+            SimDuration((bytes * 8_000_000_000 / bits_per_sec).max(1))
         } else {
             let bits = bytes as u128 * 8;
-            SimDuration(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+            SimDuration((((bits * 1_000_000_000) / bits_per_sec as u128) as u64).max(1))
         }
     }
 }

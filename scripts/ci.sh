@@ -57,15 +57,27 @@ echo "$out" | grep -q "shadow vetoed the wildcard before any enforcement: yes"
 echo "$out" | grep -q "canary rolled back on circuit-broken install give-ups: yes"
 echo "$out" | grep -q "known-good restored SLOs within 2s of sim-time: yes"
 
-# Observatory overhead smoke: the instrumented event loop must stay
-# within 5% of the same run with the obs sink gated off. CRITERION_FAST
-# keeps the window small; the margin below is wide enough that shim-level
-# sampling noise does not flake the gate, while a real regression (obs
-# bumps growing beyond plain u64 adds) still trips it.
+# Simulator perf gates, from fresh CRITERION_FAST runs of the group.
+# (a) Observatory overhead: the instrumented event loop must stay within
+#     5% of the same run with the obs sink gated off (a real regression
+#     means obs bumps grew beyond plain u64 adds).
+# (b) ShardSim: the committed snapshot must exist, and on multi-core
+#     machines the 8-shard engine must beat the sequential loop by 3x on
+#     the campus second. A single-core runner has no parallelism to
+#     harvest, so there the sharded run must merely stay within 30% of
+#     sequential (pure coordination overhead).
+# Shared CI boxes drift several percent in speed on a seconds scale —
+# comparable to threshold (a) itself — so the gate retries the whole
+# group up to three times and passes if any run clears both bars: a
+# clean box passes first try, a noisy box within three, while a real
+# regression fails all attempts.
+test -f crates/bench/BENCH_netsim.json
 bench_json=$(mktemp)
-BENCH_JSON="$bench_json" CRITERION_FAST=1 cargo bench -q -p campuslab-bench --bench simulator >/dev/null
-python3 - "$bench_json" <<'EOF'
-import json, sys
+perf_ok=0
+for attempt in 1 2 3; do
+    BENCH_JSON="$bench_json" CRITERION_FAST=1 cargo bench -q -p campuslab-bench --bench simulator >/dev/null
+    if python3 - "$bench_json" <<'EOF'
+import json, os, sys
 results = {r["name"]: r["ns_per_iter"] for r in json.load(open(sys.argv[1]))}
 on = results["simulator/run_1s_campus_second"]
 off = results["simulator/run_1s_campus_second_obs_off"]
@@ -73,8 +85,25 @@ overhead = on / off - 1.0
 print(f"obs overhead: {overhead:+.1%} (on {on:.0f} ns, off {off:.0f} ns)")
 if overhead > 0.05:
     sys.exit("error: Observatory instrumentation overhead exceeds 5%")
+shard = results["simulator/run_1s_campus_second_sharded"]
+cores = os.cpu_count() or 1
+ratio = on / shard
+print(f"sharded campus second: sequential {on:.0f} ns, 8-shard {shard:.0f} ns "
+      f"({ratio:.2f}x, {cores} cores)")
+if cores >= 4:
+    if ratio < 3.0:
+        sys.exit("error: sharded engine no longer 3x faster on a multi-core runner")
+elif shard > on * 1.30:
+    sys.exit("error: sharded engine regressed past the single-core overhead floor")
 EOF
+    then perf_ok=1; break; fi
+    echo "notice: simulator perf gate attempt $attempt failed; retrying" >&2
+done
 rm -f "$bench_json"
+if [ "$perf_ok" -ne 1 ]; then
+    echo "error: simulator perf gates failed on all attempts" >&2
+    exit 1
+fi
 
 # E3 search gate: the committed bench snapshot must exist (it is the
 # artifact EXPERIMENTS.md cites), and a fresh run of the datastore group
@@ -96,3 +125,13 @@ if ratio < 5.0:
     sys.exit("error: segment index no longer beats the full scan by 5x")
 EOF
 rm -f "$bench_json"
+
+# ShardSim determinism gate: the golden experiment bundles must replay
+# byte-for-byte under the sharded engine — 1 shard and 4 shards, and for
+# the 4-shard case both the inline executor (CAMPUSLAB_JOBS=1) and a
+# multi-threaded worker pool — exactly as they do sequentially. The
+# differential property suite rides along.
+CAMPUSLAB_SHARDS=1 cargo test -q -p campuslab-bench --test golden_replay
+CAMPUSLAB_SHARDS=4 CAMPUSLAB_JOBS=1 cargo test -q -p campuslab-bench --test golden_replay
+CAMPUSLAB_SHARDS=4 CAMPUSLAB_JOBS=4 cargo test -q -p campuslab-bench --test golden_replay
+cargo test -q -p campuslab-netsim --test proptest_shard

@@ -66,7 +66,11 @@ impl Default for Criterion {
             results: Vec::new(),
             json_path: std::env::var_os("BENCH_JSON").map(PathBuf::from),
             min_sample: if fast { Duration::from_millis(5) } else { Duration::from_millis(60) },
-            samples: if fast { 2 } else { 7 },
+            // Sample counts stay odd so the reported median is a real
+            // middle element: with an even count, index len/2 is the upper
+            // of the two middles, which silently biases toward the slower
+            // sample — on a busy box that inflated gate measurements.
+            samples: if fast { 3 } else { 7 },
         }
     }
 }
