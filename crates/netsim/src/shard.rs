@@ -369,6 +369,17 @@ struct CtrlState {
     quit: bool,
 }
 
+/// The contiguous shard range worker `w` of `workers` drives. Balanced
+/// splitting (`⌊w·n/workers⌋ .. ⌊(w+1)·n/workers⌋`) keeps every range
+/// non-empty whenever `workers <= n` — which [`crate::par::worker_count`]
+/// guarantees — so exactly `workers` threads are spawned. `run_windows`
+/// waits for `workers` completions per window; a skipped (empty-range)
+/// worker would deadlock the first parallel window.
+fn worker_range(n: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
+    debug_assert!(0 < workers && workers <= n);
+    (w * n / workers)..((w + 1) * n / workers)
+}
+
 fn worker_loop(cells: &[Mutex<ShardState>], range: std::ops::Range<usize>, ctrl: &Ctrl) {
     let mut seen = 0u64;
     loop {
@@ -417,16 +428,20 @@ fn run_windows(cells: &[Mutex<ShardState>], cap: u64, workers: usize, ctrl: &Ctr
 /// master root queue, injections to the owning shard (keyed by the master
 /// root counter, so sequence numbers match sequential assignment), filter
 /// changes to the owning shard's node.
+///
+/// `phase_now` is `Some(t)` when routing live from a serial phase at
+/// global instant `t`, and `None` when replaying window-buffered hooks
+/// (whose commands are late by construction).
 fn route_commands(
     master: &mut Network,
     cells: &[Mutex<ShardState>],
     owner: &[u32],
     items: Vec<Command>,
-    from_replay: bool,
+    phase_now: Option<SimTime>,
     report: &mut ShardReport,
 ) {
     for cmd in items {
-        if from_replay {
+        if phase_now.is_none() {
             report.late_commands += 1;
         }
         match cmd {
@@ -444,10 +459,19 @@ fn route_commands(
             Command::Inject(at, node, packet) => {
                 let mut key = master.next_root_key(at);
                 let mut st = cells[owner[node.0] as usize].lock().expect("shard poisoned");
-                // A replayed hook may request a time the shard clock has
-                // already passed; clamp (the command is already counted
-                // as late).
-                key.time = key.time.max(st.net.queue.now());
+                key.time = match phase_now {
+                    // Live routing matches the sequential engine's
+                    // `EventQueue::schedule` clamp: a request in the past
+                    // fires at the global serial-phase instant, not at
+                    // the (possibly older) shard-local clock. In-contract
+                    // the shard clock never runs ahead of `t`, so the
+                    // extra max is a safety net for late-command chains.
+                    Some(t) => key.time.max(t).max(st.net.queue.now()),
+                    // A replayed hook may request a time the shard clock
+                    // has already passed; clamp (the command is already
+                    // counted as late).
+                    None => key.time.max(st.net.queue.now()),
+                };
                 let packet = st.net.box_packet(packet);
                 st.net.queue.schedule(key, Event::Inject { node, packet });
             }
@@ -485,7 +509,7 @@ fn replay_window_hooks(
         }
         report.replayed_hooks += 1;
         if !cmds.items.is_empty() {
-            route_commands(master, cells, owner, std::mem::take(&mut cmds.items), true, report);
+            route_commands(master, cells, owner, std::mem::take(&mut cmds.items), None, report);
         }
     }
 }
@@ -672,14 +696,10 @@ impl Network {
         let ctrl = Ctrl::default();
         std::thread::scope(|scope| {
             if workers > 1 {
-                let chunk = n.div_ceil(workers);
                 for w in 0..workers {
-                    let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(n));
-                    if lo >= hi {
-                        continue;
-                    }
+                    let range = worker_range(n, workers, w);
                     let (cells, ctrl) = (&cells, &ctrl);
-                    scope.spawn(move || worker_loop(cells, lo..hi, ctrl));
+                    scope.spawn(move || worker_loop(cells, range, ctrl));
                 }
             }
             self.coordinate(hooks, until, &cells, owner, workers, &ctrl, &mut report);
@@ -830,7 +850,33 @@ impl Network {
                 st.net.dispatch(key.time, ev, hooks, &mut cmds);
             }
             if !cmds.items.is_empty() {
-                route_commands(self, cells, owner, std::mem::take(&mut cmds.items), false, report);
+                route_commands(self, cells, owner, std::mem::take(&mut cmds.items), Some(SimTime(t)), report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::worker_range;
+
+    /// Every `(n, workers)` combination with `workers <= n` must yield
+    /// exactly `workers` non-empty ranges tiling `0..n`: `run_windows`
+    /// waits for `workers` completions, so a skipped worker deadlocks the
+    /// first parallel window (regression: ceil-chunking left the third of
+    /// three workers empty at 4 shards, hanging any 3-core run).
+    #[test]
+    fn worker_ranges_tile_without_empties() {
+        for n in 1..=32 {
+            for workers in 1..=n {
+                let mut next = 0;
+                for w in 0..workers {
+                    let r = worker_range(n, workers, w);
+                    assert_eq!(r.start, next, "gap or overlap at n={n} workers={workers} w={w}");
+                    assert!(!r.is_empty(), "empty range at n={n} workers={workers} w={w}");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "ranges do not cover 0..{n} with {workers} workers");
             }
         }
     }

@@ -1,0 +1,76 @@
+//! Executor regression: the worker pool must drive every shard no matter
+//! how the pool size relates to the shard count. With ceil-chunked ranges
+//! a 3-worker pool over 4 shards spawned only 2 threads while the barrier
+//! waited for 3 completions, deadlocking the first parallel window. This
+//! binary pins `CAMPUSLAB_JOBS` (it owns the process, so the override
+//! cannot race other suites) to the awkward widths and checks the sharded
+//! run completes and matches the sequential engine.
+
+use campuslab_netsim::prelude::*;
+use std::net::Ipv4Addr;
+
+/// A star of `n` switch subtrees hanging off a core over slow (5 ms)
+/// trunks — every trunk is a cut link, so the partitioner can honour any
+/// shard count up to `n + 1` — with one host per switch and a burst of
+/// cross-subtree traffic.
+fn star(n: usize) -> Network {
+    let mut b = TopologyBuilder::new(23);
+    let trunk = LinkSpec {
+        rate_bps: 10_000_000_000,
+        propagation: SimDuration::from_millis(5),
+        queue: QueueDiscipline::DropTail { capacity_bytes: 40_000 },
+    };
+    let edge = LinkSpec {
+        rate_bps: 1_000_000_000,
+        propagation: SimDuration::from_micros(5),
+        queue: QueueDiscipline::DropTail { capacity_bytes: 40_000 },
+    };
+    let core = b.switch("core");
+    let mut hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = b.switch(format!("s{i}"));
+        b.link(core, s, trunk);
+        let addr = Ipv4Addr::new(10, 0, 0, i as u8 + 1);
+        let h = b.host(format!("h{i}"), addr);
+        b.attach_host(h, s, edge);
+        hosts.push((h, addr));
+    }
+    let mut net = b.build();
+    let mut builder = PacketBuilder::new();
+    for k in 0..48 {
+        let (src_node, src_ip) = hosts[k % n];
+        let (_, dst_ip) = hosts[(k + 1) % n];
+        let pkt = builder.udp_v4(
+            src_ip,
+            dst_ip,
+            1000 + k as u16,
+            2000,
+            Payload::Synthetic(64),
+            64,
+            GroundTruth::default(),
+        );
+        net.inject(SimTime::from_micros(k as u64 * 10), src_node, pkt);
+    }
+    net
+}
+
+fn run(n: usize, shards: Option<usize>) -> (NetStats, u64) {
+    let mut net = star(n);
+    match shards {
+        None => net.run_sequential(&mut NullHooks, None),
+        Some(k) => net.run_sharded(&mut NullHooks, None, k),
+    }
+    (net.stats, net.now().as_nanos())
+}
+
+/// Shard counts that do not divide the pinned pool width must still spawn
+/// a full pool (4 shards / 3 workers is the combination that deadlocked)
+/// and reproduce the sequential bytes.
+#[test]
+fn pool_width_not_dividing_shard_count_completes() {
+    std::env::set_var("CAMPUSLAB_JOBS", "3");
+    let seq = run(8, None);
+    for shards in [2usize, 4, 8] {
+        assert_eq!(run(8, Some(shards)), seq, "diverged at {shards} shards / 3 workers");
+    }
+}

@@ -61,11 +61,14 @@ echo "$out" | grep -q "known-good restored SLOs within 2s of sim-time: yes"
 # (a) Observatory overhead: the instrumented event loop must stay within
 #     5% of the same run with the obs sink gated off (a real regression
 #     means obs bumps grew beyond plain u64 adds).
-# (b) ShardSim: the committed snapshot must exist, and on multi-core
-#     machines the 8-shard engine must beat the sequential loop by 3x on
-#     the campus second. A single-core runner has no parallelism to
-#     harvest, so there the sharded run must merely stay within 30% of
-#     sequential (pure coordination overhead).
+# (b) ShardSim: the committed snapshot must exist, and the 8-shard engine
+#     must beat the sequential loop on the campus second by a margin the
+#     runner can actually deliver: 3x with >=8 cores, 2x with 4-7 cores
+#     (the theoretical ceiling on exactly 4 -- possibly shared/throttled --
+#     cores is ~4x before coordination overhead, so demanding 3x there
+#     gates on machine capability, not regressions). A runner under 4
+#     cores has no parallelism to harvest, so there the sharded run must
+#     merely stay within 30% of sequential (pure coordination overhead).
 # Shared CI boxes drift several percent in speed on a seconds scale —
 # comparable to threshold (a) itself — so the gate retries the whole
 # group up to three times and passes if any run clears both bars: a
@@ -90,11 +93,12 @@ cores = os.cpu_count() or 1
 ratio = on / shard
 print(f"sharded campus second: sequential {on:.0f} ns, 8-shard {shard:.0f} ns "
       f"({ratio:.2f}x, {cores} cores)")
-if cores >= 4:
-    if ratio < 3.0:
-        sys.exit("error: sharded engine no longer 3x faster on a multi-core runner")
+need = 3.0 if cores >= 8 else 2.0 if cores >= 4 else None
+if need is not None:
+    if ratio < need:
+        sys.exit(f"error: sharded engine {ratio:.2f}x < required {need:.1f}x on {cores} cores")
 elif shard > on * 1.30:
-    sys.exit("error: sharded engine regressed past the single-core overhead floor")
+    sys.exit("error: sharded engine regressed past the low-core overhead floor")
 EOF
     then perf_ok=1; break; fi
     echo "notice: simulator perf gate attempt $attempt failed; retrying" >&2
@@ -134,4 +138,4 @@ rm -f "$bench_json"
 CAMPUSLAB_SHARDS=1 cargo test -q -p campuslab-bench --test golden_replay
 CAMPUSLAB_SHARDS=4 CAMPUSLAB_JOBS=1 cargo test -q -p campuslab-bench --test golden_replay
 CAMPUSLAB_SHARDS=4 CAMPUSLAB_JOBS=4 cargo test -q -p campuslab-bench --test golden_replay
-cargo test -q -p campuslab-netsim --test proptest_shard
+cargo test -q -p campuslab-netsim --test proptest_shard --test shard_workers
