@@ -1,0 +1,4 @@
+//! Regenerates the `e16_resolver` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e16_resolver::run());
+}

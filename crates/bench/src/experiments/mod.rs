@@ -18,3 +18,4 @@ pub mod e12_multiclass;
 pub mod e13_perf_pinpoint;
 pub mod e14_chaos;
 pub mod e15_rollout_guard;
+pub mod e16_resolver;

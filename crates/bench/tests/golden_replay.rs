@@ -52,3 +52,8 @@ fn e14_chaos_sweep_replays_byte_for_byte() {
 fn e15_rollout_guard_replays_byte_for_byte() {
     replay("E15", include_str!("../golden/E15.golden"));
 }
+
+#[test]
+fn e16_resolver_replays_byte_for_byte() {
+    replay("E16", include_str!("../golden/E16.golden"));
+}

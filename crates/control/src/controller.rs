@@ -263,6 +263,10 @@ pub enum GiveUpReason {
     Timeout,
     /// The install-channel circuit breaker was open.
     CircuitOpen,
+    /// A monitored service (e.g. the campus resolver) abandoned client
+    /// work — a ServFail with no stale fallback. Service-level failure
+    /// feeding the same rollback-evidence channel as install failures.
+    ServiceFailure,
 }
 
 /// A detection the controller gave up on: every install attempt flaked

@@ -23,6 +23,7 @@
 //! | [`xai`] | model extraction (distillation) + evidence lists |
 //! | [`dataplane`] | P4-style pipeline, tree→TCAM compiler, Tofino-like resources |
 //! | [`control`] | Figure 2's fast control loop and slow development loop |
+//! | [`resolver`] | ResolverLab: a fault-tolerant caching DNS resolver service |
 //! | [`testbed`] | scenarios, road tests, cross-campus protocol, trust reports |
 //!
 //! ## The platform in one pass
@@ -53,6 +54,7 @@ pub use campuslab_ml as ml;
 pub use campuslab_netsim as netsim;
 pub use campuslab_obs as obs;
 pub use campuslab_privacy as privacy;
+pub use campuslab_resolver as resolver;
 pub use campuslab_testbed as testbed;
 pub use campuslab_traffic as traffic;
 pub use campuslab_wire as wire;

@@ -56,6 +56,7 @@ impl LabelMode {
                 3 => "port-scan".to_string(),
                 4 => "ssh-brute-force".to_string(),
                 5 => "exfiltration".to_string(),
+                6 => "nxdomain-flood".to_string(),
                 other => format!("attack-{other}"),
             },
             LabelMode::AppClass => match class {

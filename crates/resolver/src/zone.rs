@@ -1,0 +1,143 @@
+//! The resolver's model of the upstream namespace: a static, deterministic
+//! zone database standing in for "the rest of the DNS".
+//!
+//! Every name the campus workload generator queries resolves here, plus a
+//! deliberately fat TXT zone (`amp.example.org`) that gives ANY/TXT
+//! amplification probes something to amplify. Everything else is
+//! NXDOMAIN — which is exactly what a random-subdomain water-torture
+//! flood exploits, since each unique junk name forces a full (simulated)
+//! upstream round trip before the negative answer can be cached.
+
+use campuslab_wire::{DnsRecord, DnsRecordData, DnsType};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// What the upstream said about a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneAnswer {
+    /// The name exists; the vec holds records matching the query type
+    /// (possibly empty: a NODATA answer, name exists but not that type).
+    Records(Vec<DnsRecord>),
+    /// The name does not exist (RFC 2308 negative answer).
+    NxDomain,
+}
+
+/// A static name → records map with deterministic contents.
+#[derive(Debug, Clone)]
+pub struct ZoneDb {
+    names: BTreeMap<String, Vec<DnsRecord>>,
+    /// RFC 2308 negative TTL advertised with NXDOMAIN answers, seconds.
+    pub neg_ttl: u32,
+}
+
+/// TTL on workload A records, seconds. Deliberately short so a steady
+/// benign load exercises expiry and refresh, not just a warm cache.
+const A_TTL: u32 = 2;
+
+/// TTL on the amplification-bait TXT records, seconds.
+const TXT_TTL: u32 = 4;
+
+impl ZoneDb {
+    /// The default campus upstream: every workload-generator domain plus
+    /// the amplification-bait TXT zone.
+    pub fn campus_default() -> Self {
+        let mut names = BTreeMap::new();
+        // Must stay in lock-step with the campus workload generator's
+        // domain list (traffic::workload) so benign queries hit.
+        for k in 0..48u32 {
+            let tld = ["com", "org", "net", "edu"][k as usize % 4];
+            let name = format!("svc{k}.example{}.{tld}", k % 7);
+            let addr = Ipv4Addr::new(203, 0, 113, (k % 250) as u8 + 1);
+            let rec = DnsRecord { name: name.clone(), ttl: A_TTL, data: DnsRecordData::A(addr) };
+            names.insert(name, vec![rec]);
+        }
+        let amp = "amp.example.org".to_string();
+        let fat: Vec<DnsRecord> = (0..16)
+            .map(|i| DnsRecord {
+                name: amp.clone(),
+                ttl: TXT_TTL,
+                data: DnsRecordData::Txt(vec![b'a' + (i % 26) as u8; 100]),
+            })
+            .collect();
+        names.insert(amp, fat);
+        ZoneDb { names, neg_ttl: 1 }
+    }
+
+    /// Authoritative answer for `name`/`qtype`.
+    pub fn lookup(&self, name: &str, qtype: DnsType) -> ZoneAnswer {
+        match self.names.get(name) {
+            None => ZoneAnswer::NxDomain,
+            Some(records) => {
+                let matched: Vec<DnsRecord> = records
+                    .iter()
+                    .filter(|r| qtype == DnsType::Any || r.data.rtype() == qtype)
+                    .cloned()
+                    .collect();
+                ZoneAnswer::Records(matched)
+            }
+        }
+    }
+
+    /// Names the zone can answer positively.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the zone holds no names.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_domains_all_resolve() {
+        let z = ZoneDb::campus_default();
+        for k in 0..48u32 {
+            let tld = ["com", "org", "net", "edu"][k as usize % 4];
+            let name = format!("svc{k}.example{}.{tld}", k % 7);
+            match z.lookup(&name, DnsType::A) {
+                ZoneAnswer::Records(r) => {
+                    assert_eq!(r.len(), 1, "{name}");
+                    assert!(matches!(r[0].data, DnsRecordData::A(_)));
+                }
+                ZoneAnswer::NxDomain => panic!("{name} should resolve"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_subdomains_are_nxdomain() {
+        let z = ZoneDb::campus_default();
+        assert_eq!(z.lookup("qjx7a.svc0.example0.com", DnsType::A), ZoneAnswer::NxDomain);
+        assert_eq!(z.lookup("not-a-name.example.org", DnsType::A), ZoneAnswer::NxDomain);
+    }
+
+    #[test]
+    fn amp_zone_is_fat_and_any_returns_everything() {
+        let z = ZoneDb::campus_default();
+        match z.lookup("amp.example.org", DnsType::Any) {
+            ZoneAnswer::Records(r) => {
+                assert_eq!(r.len(), 16);
+                let bytes: usize = r
+                    .iter()
+                    .map(|rec| match &rec.data {
+                        DnsRecordData::Txt(v) => v.len(),
+                        _ => 0,
+                    })
+                    .sum();
+                assert!(bytes >= 1600, "ANY answer should amplify");
+            }
+            ZoneAnswer::NxDomain => panic!("amp zone missing"),
+        }
+    }
+
+    #[test]
+    fn wrong_type_on_a_known_name_is_nodata_not_nxdomain() {
+        let z = ZoneDb::campus_default();
+        assert_eq!(z.lookup("svc0.example0.com", DnsType::Txt), ZoneAnswer::Records(vec![]));
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`rollout`] — SLO-guarded deployment: shadow → canary → full
 //!   promotion of candidate programs with automatic rollback
 //!   (experiment E15).
+//! * [`resolverlab`] — the caching recursive resolver as a live campus
+//!   service under a water-torture flood, its give-ups surfaced to the
+//!   rollout guard as rollback evidence (experiment E16).
 //! * [`hooks`] — hook composition for running monitor + controller
 //!   together.
 
@@ -36,6 +39,7 @@ pub mod hooks;
 pub mod observe;
 pub mod scenario;
 pub mod roadtest;
+pub mod resolverlab;
 pub mod rollout;
 pub mod crosscampus;
 pub mod trust;
@@ -50,6 +54,9 @@ pub use observe::RunObs;
 pub use roadtest::{
     deployment_decision, road_test, DeploymentDecision, GateCriteria, RoadTestConfig,
     RoadTestOutcome,
+};
+pub use resolverlab::{
+    resolver_actor, resolver_run, GuardedResolver, ResolverRunConfig, ResolverRunOutcome,
 };
 pub use rollout::{
     canary_hosts, guarded_road_test, GuardedHooks, GuardedRunConfig, GuardedRunOutcome,

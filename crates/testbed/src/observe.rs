@@ -6,6 +6,7 @@ use campuslab_capture::CaptureObs;
 use campuslab_control::{ControllerObs, DetectorObs, FastLoopStatsSnapshot, RolloutObs};
 use campuslab_netsim::NetObs;
 use campuslab_obs::{Registry, Tracer};
+use campuslab_resolver::RsvObs;
 
 /// Telemetry moved out of one testbed run (a [`crate::collect`] pass or a
 /// [`crate::road_test`]). Layers that did not participate are `None` — a
@@ -30,6 +31,8 @@ pub struct RunObs {
     pub tracer: Tracer,
     /// Rollout-guard telemetry (guarded road tests only).
     pub rollout: Option<RolloutObs>,
+    /// Resolver-service telemetry (ResolverLab runs only).
+    pub resolver: Option<RsvObs>,
 }
 
 impl RunObs {
@@ -43,14 +46,17 @@ impl RunObs {
             filter: None,
             tracer: Tracer::new(),
             rollout: None,
+            resolver: None,
         }
     }
 
     /// Render every participating layer as one Prometheus text dump.
     ///
     /// Section order is fixed (net, capture, filter, detector, controller,
-    /// rollout) and each section renders its registry in registration
-    /// order, so the whole dump is byte-deterministic for a given run.
+    /// rollout, resolver) and each section renders its registry in
+    /// registration order, so the whole dump is byte-deterministic for a
+    /// given run. New sections append at the end, so dumps from runs that
+    /// lack them are byte-for-byte what they always were.
     pub fn prom(&self) -> String {
         let mut out = self.net.render();
         if let Some(c) = &self.capture {
@@ -66,6 +72,9 @@ impl RunObs {
             out.push_str(&c.render());
         }
         if let Some(r) = &self.rollout {
+            out.push_str(&r.render());
+        }
+        if let Some(r) = &self.resolver {
             out.push_str(&r.render());
         }
         out
@@ -127,6 +136,7 @@ mod tests {
             capture: Some(CaptureObs::new()),
             detector: Some(DetectorObs::new()),
             controller: Some(ControllerObs::new()),
+            resolver: Some(RsvObs::new()),
             ..RunObs::net_only(NetObs::new())
         };
         let text = bundle.prom();
@@ -134,5 +144,8 @@ mod tests {
         assert!(pos("sim_events_total") < pos("cap_observed_packets_total"));
         assert!(pos("cap_observed_packets_total") < pos("det_observed_records_total"));
         assert!(pos("det_observed_records_total") < pos("ctl_episodes_total"));
+        // The resolver section is the last addition, so dumps from runs
+        // without a resolver are unchanged byte for byte.
+        assert!(pos("ctl_episodes_total") < pos("rsv_queries_total"));
     }
 }

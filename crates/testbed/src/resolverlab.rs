@@ -1,0 +1,357 @@
+//! ResolverLab (experiment E16): the caching recursive resolver deployed
+//! as a live campus service actor, composed with the rollout-guard and
+//! mitigation-controller hook stack over one simulation.
+//!
+//! The load-bearing wiring is [`GuardedResolver::sync`]: every client the
+//! resolver abandons (a ServFail with no stale fallback) is forwarded to
+//! the [`RolloutGuard`] as [`GiveUpReason::ServiceFailure`] — the same
+//! rollback-evidence channel [`crate::guarded_road_test`] feeds with
+//! controller install give-ups. A rollout that starves the resolver is
+//! rollback-eligible evidence, not an invisible outage.
+
+use crate::hooks::Duo;
+use crate::observe::RunObs;
+use crate::roadtest::RoadTestConfig;
+use crate::scenario::{build_schedule, Scenario};
+use campuslab_control::{
+    BankFilter, GiveUpReason, MitigationController, MitigationControllerConfig, MitigationEvent,
+    RolloutConfig, RolloutGuard, SloPolicy,
+};
+use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_ml::Classifier;
+use campuslab_netsim::{
+    Campus, Commands, Dir, DropReason, LinkId, NetStats, NodeId, Packet, SimDuration, SimHooks,
+    SimTime,
+};
+use campuslab_obs::Tracer;
+use campuslab_resolver::{ResolverActor, ResolverService, WindowStat};
+use std::net::Ipv4Addr;
+
+/// Build the campus resolver actor at the DNS server node with the
+/// default service tuning ([`ResolverService::campus_default`]).
+pub fn resolver_actor(campus: &Campus) -> ResolverActor {
+    let node = campus.servers.dns;
+    ResolverActor::new(node, campus.addr_of(node), ResolverService::campus_default())
+}
+
+/// Resolver + rollout guard driven by one simulation. After every hook,
+/// freshly abandoned resolver clients are drained and recorded against
+/// the guard as service-failure give-ups.
+pub struct GuardedResolver {
+    pub resolver: ResolverActor,
+    pub guard: RolloutGuard,
+    surfaced: u64,
+}
+
+impl GuardedResolver {
+    /// Compose a resolver actor and a rollout guard.
+    pub fn new(resolver: ResolverActor, guard: RolloutGuard) -> Self {
+        GuardedResolver { resolver, guard, surfaced: 0 }
+    }
+
+    /// Resolver give-ups forwarded to the guard so far.
+    pub fn surfaced_giveups(&self) -> u64 {
+        self.surfaced
+    }
+
+    /// Drain the resolver's give-up log into the guard's evidence window.
+    fn sync(&mut self) {
+        for _giveup in self.resolver.service_mut().take_giveups() {
+            self.surfaced += 1;
+            self.guard.record_giveup(GiveUpReason::ServiceFailure);
+        }
+    }
+}
+
+impl SimHooks for GuardedResolver {
+    fn on_tap(&mut self, now: SimTime, link: LinkId, dir: Dir, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_tap(now, link, dir, packet, cmds);
+        self.resolver.on_tap(now, link, dir, packet, cmds);
+        self.sync();
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: &Packet,
+        latency: SimDuration,
+        cmds: &mut Commands,
+    ) {
+        self.guard.on_deliver(now, node, packet, latency, cmds);
+        self.resolver.on_deliver(now, node, packet, latency, cmds);
+        self.sync();
+    }
+
+    fn on_drop(&mut self, now: SimTime, reason: DropReason, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_drop(now, reason, packet, cmds);
+        self.resolver.on_drop(now, reason, packet, cmds);
+        self.sync();
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
+        self.guard.on_timer(now, token, cmds);
+        self.resolver.on_timer(now, token, cmds);
+        self.sync();
+    }
+}
+
+/// Parameters of a resolver scenario run.
+#[derive(Default)]
+pub struct ResolverRunConfig {
+    /// Road-test knobs (placement, gate, window, install channel) for the
+    /// defended path.
+    pub road: RoadTestConfig,
+    /// Defend the campus with the mitigation controller: the developed
+    /// pipeline program plus a window model. `None` runs undefended — the
+    /// resolver rides out the flood on rate limiting and stale answers
+    /// alone.
+    pub defense: Option<(PipelineProgram, Box<dyn Classifier + Send>)>,
+}
+
+/// What a resolver scenario run measured.
+pub struct ResolverRunOutcome {
+    pub net: NetStats,
+    /// Controller episodes that landed (defended runs).
+    pub mitigations: Vec<MitigationEvent>,
+    /// Resolver give-ups surfaced to the guard as rollback evidence.
+    pub giveups_surfaced: u64,
+    /// Per-sim-second resolver load windows, in time order.
+    pub windows: Vec<(u64, WindowStat)>,
+    /// The resolver's address (the flood's target).
+    pub victim: Option<Ipv4Addr>,
+    pub attack_start: Option<SimTime>,
+    /// Observatory bundle, resolver section included.
+    pub obs: RunObs,
+}
+
+impl ResolverRunOutcome {
+    /// Cache-hit rate per window second (windows that saw no queries are
+    /// skipped) — the collapse-and-recovery curve E16 plots.
+    pub fn hit_rate_series(&self) -> Vec<(u64, f64)> {
+        self.windows
+            .iter()
+            .filter(|(_, w)| w.queries > 0)
+            .map(|(sec, w)| (*sec, w.cache_hits as f64 / w.queries as f64))
+            .collect()
+    }
+}
+
+/// Run a resolver scenario: the campus resolver serves live port-53
+/// traffic while the rollout guard collects service-failure evidence and,
+/// when a defense is supplied, the mitigation controller watches the
+/// border tap and installs rules against the flood.
+pub fn resolver_run(scenario: &Scenario, cfg: ResolverRunConfig) -> ResolverRunOutcome {
+    let campus = Campus::build(scenario.campus.clone());
+    let (mut schedule, victim, attack_start) = build_schedule(&campus, scenario);
+    let actor = resolver_actor(&campus);
+    let mut net = campus.net;
+    schedule.apply_to(&mut net);
+
+    let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
+    let (bank, handle) = BankFilter::new(extractor.clone());
+    net.install_filter(campus.border, bank);
+
+    let (known_good, model) = match cfg.defense {
+        Some((program, model)) => (program, Some(model)),
+        None => (PipelineProgram::new("resolver-undefended", vec![]), None),
+    };
+    let guard = RolloutGuard::new(
+        RolloutConfig {
+            tap: campus.border_link,
+            extractor,
+            slo: SloPolicy::default(),
+            canary_hosts: Vec::new(),
+            tap_blackouts: Vec::new(),
+            submissions: Vec::new(),
+        },
+        known_good.clone(),
+        handle.clone(),
+    );
+    let mut guarded = GuardedResolver::new(actor, guard);
+
+    let mut mitigations = Vec::new();
+    let mut controller_obs = None;
+    let mut detector_obs = None;
+    match model {
+        Some(model) => {
+            let controller = MitigationController::new(
+                MitigationControllerConfig {
+                    tap: campus.border_link,
+                    placement: cfg.road.placement,
+                    gate: cfg.road.gate,
+                    window_ns: cfg.road.window_ns,
+                    min_packets: cfg.road.min_packets,
+                    program: known_good,
+                    install: cfg.road.install.clone(),
+                    tap_blackouts: cfg.road.tap_blackouts.clone(),
+                },
+                model,
+                handle.clone(),
+            );
+            let mut hooks = Duo::new(guarded, controller);
+            net.run(&mut hooks, None);
+            let (cobs, dobs) = hooks.second.take_obs();
+            controller_obs = Some(cobs);
+            detector_obs = Some(dobs);
+            mitigations = std::mem::take(&mut hooks.second.events);
+            guarded = hooks.first;
+        }
+        None => net.run(&mut guarded, None),
+    }
+
+    let mut tracer = Tracer::new();
+    let end_ns = net.now().as_nanos();
+    tracer.record("resolverlab".to_string(), 0, end_ns);
+    if let Some(cobs) = &controller_obs {
+        tracer.merge_from(&cobs.tracer);
+    }
+    let rollout_obs = guarded.guard.take_obs();
+    tracer.merge_from(&rollout_obs.tracer);
+
+    let service = guarded.resolver.service();
+    let windows = service.windows().iter().map(|(sec, w)| (*sec, *w)).collect();
+    let filter = handle.stats();
+    ResolverRunOutcome {
+        net: net.stats,
+        mitigations,
+        giveups_surfaced: guarded.surfaced,
+        windows,
+        victim,
+        attack_start,
+        obs: RunObs {
+            net: net.obs,
+            capture: None,
+            detector: detector_obs,
+            controller: controller_obs,
+            filter: Some(filter),
+            tracer,
+            rollout: Some(rollout_obs),
+            resolver: Some(service.obs().clone()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_netsim::{CampusConfig, GroundTruth, PacketBuilder, Payload};
+    use campuslab_resolver::{ResolverConfig, ResponseKind, ZoneDb};
+    use campuslab_wire::{DnsMessage, DnsType};
+
+    /// The satellite interaction contract: a resolver that abandons
+    /// clients feeds the same rollback-evidence channel install give-ups
+    /// use, and the guard's Observatory shows the failures.
+    #[test]
+    fn resolver_giveups_reach_the_guard_as_rollback_evidence() {
+        let campus = Campus::build(CampusConfig {
+            dist_count: 1,
+            access_per_dist: 1,
+            hosts_per_access: 2,
+            external_hosts: 2,
+            ..CampusConfig::default()
+        });
+        let client = campus.hosts[0];
+        let client_ip = campus.addr_of(client);
+        let resolver_ip = campus.addr_of(campus.servers.dns);
+        let mut net = campus.net;
+
+        // Five cold-cache queries against a resolver with zero upstream
+        // slots: every one must end as a typed give-up, never a panic.
+        let mut b = PacketBuilder::new();
+        for i in 0..5u16 {
+            let msg = DnsMessage::query(i, &format!("host{i}.example.com"), DnsType::A);
+            let mut bytes = Vec::new();
+            msg.emit(&mut bytes).expect("emit");
+            net.inject(
+                SimTime::from_millis(10 * u64::from(i)),
+                client,
+                b.udp_v4(
+                    client_ip,
+                    resolver_ip,
+                    40_000 + i,
+                    53,
+                    Payload::from(bytes),
+                    64,
+                    GroundTruth::default(),
+                ),
+            );
+        }
+
+        let extractor = FieldExtractor::new(campus.config.campus_prefix());
+        let (bank, handle) = BankFilter::new(extractor.clone());
+        net.install_filter(campus.border, bank);
+        let guard = RolloutGuard::new(
+            RolloutConfig {
+                tap: campus.border_link,
+                extractor,
+                slo: SloPolicy::default(),
+                canary_hosts: Vec::new(),
+                tap_blackouts: Vec::new(),
+                submissions: Vec::new(),
+            },
+            PipelineProgram::new("known-good", vec![]),
+            handle,
+        );
+        let starved = ResolverService::new(
+            ResolverConfig { upstream_concurrency: 0, ..ResolverConfig::default() },
+            ZoneDb::campus_default(),
+        );
+        let actor = ResolverActor::new(campus.servers.dns, resolver_ip, starved);
+        let mut guarded = GuardedResolver::new(actor, guard);
+        net.run(&mut guarded, None);
+
+        assert_eq!(guarded.surfaced_giveups(), 5);
+        let rsv = guarded.resolver.service().obs();
+        assert_eq!(rsv.giveups(), 5);
+        assert_eq!(rsv.responses(ResponseKind::ServFail), 5);
+        // Same channel, same metric family guarded_road_test exercises.
+        let robs = guarded.guard.take_obs();
+        assert_eq!(robs.giveups_observed(), 5);
+        assert!(robs.render().contains("rollout_giveups_observed_total 5"));
+    }
+
+    #[test]
+    fn water_torture_degrades_the_undefended_resolver() {
+        let outcome = resolver_run(&Scenario::resolver_lab(), ResolverRunConfig::default());
+        let rsv = outcome.obs.resolver.as_ref().expect("resolver obs");
+        assert!(rsv.queries() > 5_000, "queries {}", rsv.queries());
+        // Per-client rate limiting sheds the bulk of the flood...
+        assert!(rsv.rrl_dropped() > 1_000, "rrl dropped {}", rsv.rrl_dropped());
+        // ...but what leaks through still starves the upstream path.
+        assert!(rsv.upstream_timeouts() > 0, "no upstream starvation");
+        assert!(
+            rsv.responses(ResponseKind::Stale) + rsv.giveups() > 0,
+            "flood never degraded service"
+        );
+        // Every abandoned client became guard evidence.
+        assert_eq!(outcome.giveups_surfaced, rsv.giveups());
+        assert_eq!(
+            outcome.obs.rollout.as_ref().expect("rollout obs").giveups_observed(),
+            rsv.giveups()
+        );
+        // The hit-rate curve collapses under the flood and recovers after.
+        let series = outcome.hit_rate_series();
+        let pre = series.iter().find(|(sec, _)| *sec == 2).map(|(_, r)| *r).unwrap_or(0.0);
+        let during = series
+            .iter()
+            .filter(|(sec, _)| (4..=8).contains(sec))
+            .map(|(_, r)| *r)
+            .fold(f64::INFINITY, f64::min);
+        let last = series.last().map(|(_, r)| *r).unwrap_or(0.0);
+        assert!(pre > 0.5, "pre-flood hit rate {pre}");
+        assert!(during < pre, "flood never dented the hit rate: {during} vs {pre}");
+        assert!(last > during, "hit rate never recovered: {last} vs {during}");
+        // And the dump carries the resolver section.
+        assert!(outcome.obs.prom().contains("rsv_queries_total"));
+    }
+
+    #[test]
+    fn resolver_run_is_deterministic() {
+        let run = || {
+            let outcome = resolver_run(&Scenario::resolver_lab(), ResolverRunConfig::default());
+            (outcome.obs.prom(), outcome.obs.trace_json(), outcome.giveups_surfaced)
+        };
+        assert_eq!(run(), run(), "resolver run must be bit-identical across runs");
+    }
+}

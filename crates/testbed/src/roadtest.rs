@@ -191,6 +191,7 @@ pub fn road_test(
             filter: Some(filter),
             tracer,
             rollout: None,
+            resolver: None,
         },
     }
 }

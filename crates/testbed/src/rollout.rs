@@ -243,6 +243,7 @@ pub fn guarded_road_test(
             filter: Some(filter),
             tracer,
             rollout: Some(rollout_obs),
+            resolver: None,
         },
     }
 }

@@ -6,7 +6,7 @@ use crate::observe::RunObs;
 use campuslab_capture::{BorderTapHooks, DnsMetaRecord, FlowRecord, MonitorConfig, MonitorStats, PacketRecord, RingStats, TcpRttRecord};
 use campuslab_datastore::DataStore;
 use campuslab_netsim::{Campus, CampusConfig, NetStats, SimDuration, SimTime};
-use campuslab_traffic::{Schedule, TrafficGenerator, WorkloadConfig};
+use campuslab_traffic::{AppClass, Schedule, TrafficGenerator, WorkloadConfig};
 use std::net::Ipv4Addr;
 
 /// The attack content of a scenario.
@@ -20,6 +20,24 @@ pub enum AttackScenario {
     SynFlood { pps: f64, start_frac: f64, duration_frac: f64 },
     /// One campaign of every kind (the multi-class climate).
     Mixed,
+    /// Random-subdomain NXDOMAIN "water torture" flood at the campus
+    /// recursive resolver, with an ANY/TXT amplification burst riding the
+    /// same window. Benign resolver clients query for the whole scenario
+    /// so cache-hit collapse and recovery are measurable. Pair with a
+    /// workload mix that excludes [`AppClass::Dns`] (see
+    /// [`Scenario::resolver_lab`]): the scripted query/response DNS app
+    /// would double-answer queries the live resolver actor also serves.
+    ResolverWaterTorture {
+        /// Benign client query rate at the resolver, whole-run.
+        client_qps: f64,
+        /// Distinct external flood sources (each rate-limited separately).
+        n_sources: usize,
+        qps_per_source: f64,
+        /// ANY/TXT amplification-burst rate (0 disables the burst).
+        amp_qps: f64,
+        start_frac: f64,
+        duration_frac: f64,
+    },
 }
 
 /// A complete scenario description.
@@ -54,6 +72,45 @@ impl Scenario {
                 qps: 600.0,
                 start_frac: 0.15,
                 duration_frac: 0.8,
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+
+    /// The ResolverLab scenario (experiment E16): a compact campus whose
+    /// recursive resolver serves live benign clients, then takes a
+    /// water-torture flood from two dozen external sources plus an
+    /// amplification burst. The scripted DNS app is removed from the mix
+    /// because the resolver actor answers port-53 traffic itself.
+    ///
+    /// Sizing: 24 sources x 60 qps is ~480 qps after per-client rate
+    /// limiting (20 qps each), above the upstream capacity of the default
+    /// [`campuslab_resolver::ResolverConfig`] (8 concurrent lookups at a
+    /// 20 ms RTT = 400 qps), so the flood starves the upstream path and
+    /// benign misses degrade to stale answers or ServFail give-ups.
+    pub fn resolver_lab() -> Self {
+        let mut workload = WorkloadConfig {
+            duration: SimDuration::from_secs(12),
+            sessions_per_sec: 6.0,
+            ..WorkloadConfig::default()
+        };
+        workload.mix.retain(|(class, _)| *class != AppClass::Dns);
+        Scenario {
+            campus: CampusConfig {
+                dist_count: 2,
+                access_per_dist: 2,
+                hosts_per_access: 4,
+                external_hosts: 32,
+                ..CampusConfig::default()
+            },
+            workload,
+            attack: AttackScenario::ResolverWaterTorture {
+                client_qps: 40.0,
+                n_sources: 24,
+                qps_per_source: 60.0,
+                amp_qps: 120.0,
+                start_frac: 0.25,
+                duration_frac: 0.5,
             },
             monitor: MonitorConfig::default(),
         }
@@ -119,6 +176,29 @@ pub fn build_schedule(campus: &Campus, scenario: &Scenario) -> (Schedule, Option
             victim = Some(campus.addr_of(campus.hosts[0]));
             attack_start = Some(at(0.1));
             gen.add_mixed_attacks(&mut schedule);
+        }
+        AttackScenario::ResolverWaterTorture {
+            client_qps,
+            n_sources,
+            qps_per_source,
+            amp_qps,
+            start_frac,
+            duration_frac,
+        } => {
+            victim = Some(campus.addr_of(campus.servers.dns));
+            attack_start = Some(at(*start_frac));
+            let dur = SimDuration::from_secs_f64(span * duration_frac);
+            gen.add_resolver_clients(
+                &mut schedule,
+                *client_qps,
+                SimTime::ZERO,
+                scenario.workload.duration,
+            );
+            gen.add_nxdomain_flood(&mut schedule, *n_sources, *qps_per_source, at(*start_frac), dur);
+            if *amp_qps > 0.0 {
+                // The burst spoofs a campus host as its reflection victim.
+                gen.add_resolver_amp_burst(&mut schedule, campus.hosts[0], *amp_qps, at(*start_frac), dur);
+            }
         }
     }
     (schedule, victim, attack_start)
@@ -264,6 +344,35 @@ mod tests {
         let prom = data.obs.prom();
         assert!(prom.contains("sim_delivered_packets_total"));
         assert!(prom.contains("cap_captured_packets_total"));
+    }
+
+    #[test]
+    fn resolver_lab_schedule_mixes_clients_flood_and_burst() {
+        let scenario = Scenario::resolver_lab();
+        let campus = Campus::build(scenario.campus.clone());
+        let (schedule, victim, attack_start) = build_schedule(&campus, &scenario);
+        // The resolver itself is the victim on record.
+        assert_eq!(victim, Some(campus.addr_of(campus.servers.dns)));
+        assert!(attack_start.is_some());
+        let truths: Vec<_> = schedule.iter().map(|i| i.packet.truth).collect();
+        let flood = truths
+            .iter()
+            .filter(|t| t.attack == Some(campuslab_traffic::AttackKind::NxdomainFlood.id()))
+            .count();
+        let amp = truths
+            .iter()
+            .filter(|t| t.attack == Some(campuslab_traffic::AttackKind::DnsAmplification.id()))
+            .count();
+        let benign_dns = truths
+            .iter()
+            .filter(|t| t.attack.is_none() && t.app_class == AppClass::Dns.id())
+            .count();
+        assert!(flood > 5_000, "flood {flood}");
+        assert!(amp > 500, "amp {amp}");
+        assert!(benign_dns > 400, "benign dns {benign_dns}");
+        // The scripted DNS app is out of the mix: every benign port-53
+        // packet is a live client query for the resolver actor to answer.
+        assert!(scenario.workload.mix.iter().all(|(c, _)| *c != AppClass::Dns));
     }
 
     #[test]

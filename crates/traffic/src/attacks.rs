@@ -107,6 +107,129 @@ fn initial_ttl(env: &mut SessionEnv<'_>) -> u8 {
     [64u8, 128, 255][env.rng.gen_range(0..3)]
 }
 
+/// Parameters of a random-subdomain NXDOMAIN "water torture" flood
+/// against the campus recursive resolver.
+#[derive(Debug, Clone)]
+pub struct NxdomainFlood {
+    /// External bots sending the junk queries.
+    pub sources: Vec<Endpoint>,
+    /// The campus resolver under torture.
+    pub resolver: Endpoint,
+    /// Base domain whose random subdomains defeat the cache.
+    pub base_domain: String,
+    /// Queries per second, per source.
+    pub qps_per_source: f64,
+    /// Per-mille of queries byte-corrupted in flight, exercising the
+    /// resolver's malformed-input paths under load.
+    pub corrupt_permille: u16,
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+/// Generate a water-torture flood: every query names a unique random
+/// subdomain, so no answer is ever cacheable and each one costs the
+/// resolver an upstream round trip (or a starved slot). Only queries are
+/// generated — the responses are whatever the attacked resolver actually
+/// does, which is the point of the experiment.
+pub fn nxdomain_flood(env: &mut SessionEnv<'_>, a: &NxdomainFlood) {
+    assert!(!a.sources.is_empty(), "water torture needs sources");
+    let per_source = (a.qps_per_source * a.duration.as_secs_f64()).round() as usize;
+    let gap = SimDuration::from_secs_f64(1.0 / a.qps_per_source.max(1e-9));
+    for (s, source) in a.sources.iter().enumerate() {
+        // Stagger sources so the aggregate does not arrive in phase.
+        let phase = SimDuration::from_nanos(gap.as_nanos() * s as u64 / a.sources.len().max(1) as u64);
+        for i in 0..per_source {
+            let flow_id = env.alloc_flow();
+            let truth = GroundTruth {
+                flow_id,
+                app_class: AppClass::Dns.id(),
+                attack: Some(AttackKind::NxdomainFlood.id()),
+            };
+            let t = a.start + phase + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+            // A unique junk label per query is what defeats the cache.
+            let label_len = env.rng.gen_range(7..13);
+            let label: String = (0..label_len)
+                .map(|_| (b'a' + env.rng.gen_range(0..26)) as char)
+                .collect();
+            let name = format!("{label}.{}", a.base_domain);
+            let id: u16 = env.rng.gen();
+            let sport: u16 = env.rng.gen_range(1024..65535);
+            let mut qbytes = Vec::new();
+            DnsMessage::query(id, &name, DnsType::A)
+                .emit(&mut qbytes)
+                .expect("generated labels are valid");
+            // A slice of the flood is botched in flight: header survives,
+            // body does not — the resolver must absorb it without panicking.
+            if env.rng.gen_range(0..1000) < a.corrupt_permille && qbytes.len() > 12 {
+                let pos = env.rng.gen_range(12..qbytes.len());
+                qbytes[pos] ^= 0xff;
+            }
+            let ttl = initial_ttl(env) - env.rng.gen_range(6..20);
+            let pkt = env.builder.udp_v4(
+                source.addr,
+                a.resolver.addr,
+                sport,
+                53,
+                Payload::Bytes(qbytes.into()),
+                ttl,
+                truth,
+            );
+            env.schedule.push(t, source.node, pkt);
+        }
+    }
+}
+
+/// Parameters of an ANY/TXT amplification burst that abuses the campus
+/// resolver itself as the reflector.
+#[derive(Debug, Clone)]
+pub struct ResolverAmpBurst {
+    /// The bot sending spoofed queries (external).
+    pub attacker: Endpoint,
+    /// Campus host whose address is spoofed — and would receive the
+    /// amplified answers if the resolver cooperated.
+    pub victim: Endpoint,
+    /// The campus resolver being abused.
+    pub resolver: Endpoint,
+    /// The fat zone queried (large multi-record TXT answer).
+    pub zone: String,
+    /// Spoofed queries per second.
+    pub qps: f64,
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+/// Generate the burst: spoofed-source ANY/TXT queries at the resolver.
+/// No responses are scripted — whether the victim gets flooded depends
+/// entirely on the resolver's response rate limiting.
+pub fn resolver_amp_burst(env: &mut SessionEnv<'_>, a: &ResolverAmpBurst) {
+    let n = (a.qps * a.duration.as_secs_f64()).round() as usize;
+    let gap = SimDuration::from_secs_f64(1.0 / a.qps.max(1e-9));
+    for i in 0..n {
+        let flow_id = env.alloc_flow();
+        let truth = GroundTruth {
+            flow_id,
+            app_class: AppClass::Dns.id(),
+            attack: Some(AttackKind::DnsAmplification.id()),
+        };
+        let t = a.start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+        let id: u16 = env.rng.gen();
+        let sport: u16 = env.rng.gen_range(32768..61000);
+        let qtype = if env.rng.gen::<f64>() < 0.7 { DnsType::Any } else { DnsType::Txt };
+        let mut qbytes = Vec::new();
+        DnsMessage::query(id, &a.zone, qtype).emit(&mut qbytes).expect("valid zone name");
+        let pkt = env.builder.udp_v4(
+            a.victim.addr,
+            a.resolver.addr,
+            sport,
+            53,
+            Payload::Bytes(qbytes.into()),
+            64,
+            truth,
+        );
+        env.schedule.push(t, a.attacker.node, pkt);
+    }
+}
+
 /// Parameters of a SYN flood.
 #[derive(Debug, Clone)]
 pub struct SynFlood {
@@ -482,6 +605,63 @@ mod tests {
             .schedule
             .iter()
             .all(|i| i.packet.truth.attack == Some(AttackKind::SshBruteForce.id())));
+    }
+
+    #[test]
+    fn water_torture_names_are_unique_and_mostly_well_formed() {
+        let mut ctx = Ctx::new();
+        let campaign = NxdomainFlood {
+            sources: vec![ep(0, [203, 0, 113, 50]), ep(1, [203, 0, 113, 51])],
+            resolver: ep(2, [10, 1, 255, 53]),
+            base_domain: "torture.example.net".into(),
+            qps_per_source: 50.0,
+            corrupt_permille: 63,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(2),
+        };
+        nxdomain_flood(&mut ctx.env(), &campaign);
+        let s = &ctx.schedule;
+        assert_eq!(s.len(), 200); // 2 sources x 50 qps x 2 s, queries only
+        let mut names = std::collections::HashSet::new();
+        let mut corrupted = 0;
+        for inj in s.iter() {
+            assert_eq!(inj.packet.transport.dst_port(), Some(53));
+            assert_eq!(inj.packet.truth.attack, Some(AttackKind::NxdomainFlood.id()));
+            match DnsMessage::parse(inj.packet.payload.bytes().unwrap()) {
+                Ok(msg) => {
+                    assert!(!msg.flags.response, "flood is queries only");
+                    assert!(msg.questions[0].name.ends_with(".torture.example.net"));
+                    names.insert(msg.questions[0].name.clone());
+                }
+                Err(_) => corrupted += 1,
+            }
+        }
+        // Unique junk labels: effectively no collisions at this scale.
+        assert!(names.len() >= 190, "names {} not unique enough", names.len());
+        // The corruption knob produced some malformed queries, not too many.
+        assert!((1..40).contains(&corrupted), "corrupted {corrupted}");
+    }
+
+    #[test]
+    fn amp_burst_spoofs_the_victim_and_asks_fat_questions() {
+        let mut ctx = Ctx::new();
+        let campaign = ResolverAmpBurst {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 1, 10]),
+            resolver: ep(2, [10, 1, 255, 53]),
+            zone: "amp.example.org".into(),
+            qps: 100.0,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+        };
+        resolver_amp_burst(&mut ctx.env(), &campaign);
+        assert_eq!(ctx.schedule.len(), 100);
+        for inj in ctx.schedule.iter() {
+            let victim_ip: std::net::IpAddr = "10.1.1.10".parse().unwrap();
+            assert_eq!(inj.packet.network.src(), victim_ip, "source must be spoofed");
+            let msg = DnsMessage::parse(inj.packet.payload.bytes().unwrap()).unwrap();
+            assert!(msg.is_amplification_prone());
+        }
     }
 
     #[test]

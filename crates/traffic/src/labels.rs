@@ -88,16 +88,21 @@ pub enum AttackKind {
     SshBruteForce,
     /// Slow bulk exfiltration from a compromised campus host.
     Exfiltration,
+    /// Random-subdomain NXDOMAIN "water torture" flood against the campus
+    /// recursive resolver: every junk name defeats the cache and forces an
+    /// upstream round trip.
+    NxdomainFlood,
 }
 
 impl AttackKind {
     /// All kinds, in id order.
-    pub const ALL: [AttackKind; 5] = [
+    pub const ALL: [AttackKind; 6] = [
         AttackKind::DnsAmplification,
         AttackKind::SynFlood,
         AttackKind::PortScan,
         AttackKind::SshBruteForce,
         AttackKind::Exfiltration,
+        AttackKind::NxdomainFlood,
     ];
 
     /// Stable numeric id (1-based).
@@ -108,6 +113,7 @@ impl AttackKind {
             AttackKind::PortScan => 3,
             AttackKind::SshBruteForce => 4,
             AttackKind::Exfiltration => 5,
+            AttackKind::NxdomainFlood => 6,
         }
     }
 
@@ -124,6 +130,7 @@ impl AttackKind {
             AttackKind::PortScan => "port-scan",
             AttackKind::SshBruteForce => "ssh-brute-force",
             AttackKind::Exfiltration => "exfiltration",
+            AttackKind::NxdomainFlood => "nxdomain-flood",
         }
     }
 }

@@ -399,9 +399,131 @@ impl<'c> TrafficGenerator<'c> {
         self.add_exfiltration(schedule, self.campus.hosts[2], 3_000_000, 4_000_000, at(0.75));
     }
 
-    /// Ids of every attack kind `add_mixed_attacks` injects.
+    /// Ids of every attack kind `add_mixed_attacks` injects. Deliberately
+    /// not [`AttackKind::ALL`]: the resolver water torture
+    /// ([`AttackKind::NxdomainFlood`]) only makes sense against a live
+    /// resolver actor and is layered by the ResolverLab experiment, not by
+    /// the generic attack climate.
     pub fn mixed_attack_kinds() -> [AttackKind; 5] {
-        AttackKind::ALL
+        [
+            AttackKind::DnsAmplification,
+            AttackKind::SynFlood,
+            AttackKind::PortScan,
+            AttackKind::SshBruteForce,
+            AttackKind::Exfiltration,
+        ]
+    }
+
+    /// Benign resolver-client load for runs where a live resolver actor
+    /// answers: **queries only**, Zipf-skewed over the workload domains.
+    ///
+    /// The regular [`AppClass::Dns`] sessions script both query and
+    /// response (the resolver is a passive sink there); layering those onto
+    /// a run with a real resolver actor would double every answer. This
+    /// generator is the actor-era replacement.
+    pub fn add_resolver_clients(
+        &mut self,
+        schedule: &mut Schedule,
+        qps: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        let resolver = self.endpoint(self.campus.servers.dns);
+        let n = (qps * duration.as_secs_f64()).round() as usize;
+        let gap = SimDuration::from_secs_f64(1.0 / qps.max(1e-9));
+        for i in 0..n {
+            let client = self.random_host();
+            let domain_idx = self.host_pop.sample(&mut self.rng) % self.domains.len();
+            let domain = self.domains[domain_idx].clone();
+            let t = start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+            let flow_id = self.next_flow;
+            self.next_flow += 1;
+            let truth = campuslab_netsim::GroundTruth {
+                flow_id,
+                app_class: AppClass::Dns.id(),
+                attack: None,
+            };
+            let id: u16 = self.rng.gen();
+            let sport: u16 = self.rng.gen_range(1024..61000);
+            let mut qbytes = Vec::new();
+            campuslab_wire::DnsMessage::query(id, &domain, campuslab_wire::DnsType::A)
+                .emit(&mut qbytes)
+                .expect("workload domains are valid");
+            let pkt = self.builder.udp_v4(
+                client.addr,
+                resolver.addr,
+                sport,
+                53,
+                campuslab_netsim::Payload::Bytes(qbytes.into()),
+                64,
+                truth,
+            );
+            schedule.push(t, client.node, pkt);
+        }
+    }
+
+    /// Layer a water-torture NXDOMAIN flood at the campus resolver.
+    pub fn add_nxdomain_flood(
+        &mut self,
+        schedule: &mut Schedule,
+        n_sources: usize,
+        qps_per_source: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        let sources: Vec<Endpoint> = self
+            .campus
+            .external
+            .iter()
+            .rev()
+            .take(n_sources.max(1))
+            .map(|&n| self.endpoint(n))
+            .collect();
+        let campaign = attacks::NxdomainFlood {
+            sources,
+            resolver: self.endpoint(self.campus.servers.dns),
+            base_domain: "torture.example.net".into(),
+            qps_per_source,
+            // ~6% of the flood arrives mangled, exercising the resolver's
+            // malformed-input paths while the attack is on.
+            corrupt_permille: 63,
+            start,
+            duration,
+        };
+        let mut env = SessionEnv {
+            builder: &mut self.builder,
+            rng: &mut self.rng,
+            schedule,
+            next_flow: &mut self.next_flow,
+        };
+        attacks::nxdomain_flood(&mut env, &campaign);
+    }
+
+    /// Layer an ANY/TXT amplification burst abusing the campus resolver.
+    pub fn add_resolver_amp_burst(
+        &mut self,
+        schedule: &mut Schedule,
+        victim: NodeId,
+        qps: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        let campaign = attacks::ResolverAmpBurst {
+            attacker: self.endpoint(*self.campus.external.last().expect("external hosts")),
+            victim: self.endpoint(victim),
+            resolver: self.endpoint(self.campus.servers.dns),
+            zone: "amp.example.org".into(),
+            qps,
+            start,
+            duration,
+        };
+        let mut env = SessionEnv {
+            builder: &mut self.builder,
+            rng: &mut self.rng,
+            schedule,
+            next_flow: &mut self.next_flow,
+        };
+        attacks::resolver_amp_burst(&mut env, &campaign);
     }
 }
 
@@ -489,7 +611,25 @@ mod tests {
             .iter()
             .filter_map(|i| i.packet.truth.attack)
             .collect();
-        assert_eq!(kinds.len(), AttackKind::ALL.len());
+        assert_eq!(kinds.len(), TrafficGenerator::mixed_attack_kinds().len());
+    }
+
+    #[test]
+    fn resolver_clients_emit_queries_only() {
+        let campus = small_campus();
+        let mut g = TrafficGenerator::new(&campus, WorkloadConfig::default());
+        let mut s = Schedule::new();
+        g.add_resolver_clients(&mut s, 40.0, SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(s.len(), 80);
+        let dns_ip = std::net::IpAddr::V4(campus.addr_of(campus.servers.dns));
+        for inj in s.iter() {
+            assert_eq!(inj.packet.network.dst(), dns_ip, "all traffic goes to the resolver");
+            assert_eq!(inj.packet.transport.dst_port(), Some(53));
+            assert_eq!(inj.packet.truth.attack, None);
+            let msg =
+                campuslab_wire::DnsMessage::parse(inj.packet.payload.bytes().unwrap()).unwrap();
+            assert!(!msg.flags.response, "clients never script responses");
+        }
     }
 
     #[test]

@@ -404,7 +404,15 @@ fn parse_name(data: &[u8], start: usize) -> Result<(String, usize)> {
             name.push('.');
         }
         for &b in &data[pos + 1..pos + 1 + len] {
-            // Labels are case-insensitive ASCII in practice; normalize.
+            // Labels are case-insensitive ASCII in practice; normalize. The
+            // presentation form must survive `emit_name` byte-for-byte, so
+            // reject anything outside printable ASCII as well as the label
+            // separator itself: a 0x2e inside a label would re-split on
+            // emission and a byte >= 0x80 would re-encode as two UTF-8
+            // bytes, silently changing the wire form.
+            if !(0x21..=0x7e).contains(&b) || b == b'.' {
+                return Err(Error::BadName);
+            }
             name.push(b.to_ascii_lowercase() as char);
         }
         if name.len() > MAX_NAME_LEN {
@@ -638,6 +646,29 @@ mod tests {
             .collect();
         let r = q.answer(answers, DnsRcode::NoError);
         assert!(r.wire_len() > 5 * q.wire_len());
+    }
+
+    #[test]
+    fn hostile_label_bytes_are_rejected() {
+        // A label carrying a dot, a high byte, or a control byte cannot
+        // round-trip through presentation form; parse must refuse it
+        // instead of producing a name that re-encodes differently.
+        for bad in [b'.', 0x80u8, 0xff, 0x00, b' ', 0x1f] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&1u16.to_be_bytes()); // id
+            buf.extend_from_slice(&0u16.to_be_bytes()); // flags
+            buf.extend_from_slice(&1u16.to_be_bytes()); // qd
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&[3, b'a', bad, b'b', 0]); // a<bad>b.
+            buf.extend_from_slice(&[0, 1, 0, 1]); // qtype A, class IN
+            assert_eq!(
+                DnsMessage::parse(&buf).unwrap_err(),
+                Error::BadName,
+                "label byte {bad:#04x} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,15 @@ else
     echo "notice: cargo-llvm-cov not installed; skipping coverage floor" >&2
 fi
 
+# Never-panic fuzz smoke: every untrusted-input parser (wire dns/ipv4/
+# ipv6/tcp/udp/icmp/arp/ethernet and capture pcap) takes 10k
+# deterministic cases per target — structured corpora plus corruption
+# and truncation operators — with zero panics and stable
+# parse->encode->parse round trips. The vendored proptest shim is
+# seeded and shrink-free, so a failure here reproduces exactly.
+CAMPUSLAB_FUZZ_CASES=10000 cargo test -q --release -p campuslab-wire --test fuzz_wire
+CAMPUSLAB_FUZZ_CASES=10000 cargo test -q --release -p campuslab-capture --test fuzz_pcap
+
 # The chaos layer's determinism and windowing invariants are load-bearing
 # for every robustness claim: gate on them explicitly.
 cargo test -q -p campuslab-netsim --test chaos
@@ -56,6 +65,23 @@ echo "$out"
 echo "$out" | grep -q "shadow vetoed the wildcard before any enforcement: yes"
 echo "$out" | grep -q "canary rolled back on circuit-broken install give-ups: yes"
 echo "$out" | grep -q "known-good restored SLOs within 2s of sim-time: yes"
+
+# E16 gates: the resolver water-torture bundle must replay byte-for-byte
+# against its committed golden (the ShardSim gates below replay it again
+# under 1 and 4 shards), the resolver scenario run must stay
+# bit-deterministic, and a smoke run must show the full story: the flood
+# shed by rate limiting, typed degradation instead of death, cache-hit
+# collapse and recovery, abandoned clients surfacing as rollout-guard
+# rollback evidence, and the border defense mitigating the resolver.
+cargo test -q -p campuslab-bench --test golden_replay e16_resolver_replays_byte_for_byte
+cargo test -q -p campuslab-testbed --lib resolverlab::tests::resolver_run_is_deterministic
+out=$(cargo run -q --release -p campuslab-bench --bin e16_resolver)
+echo "$out"
+echo "$out" | grep -q "per-client rate limiting shed the flood bulk: yes"
+echo "$out" | grep -q "starved resolver degraded (stale/ServFail), never died: yes"
+echo "$out" | grep -q "cache-hit rate collapsed under flood and recovered after: yes"
+echo "$out" | grep -q "abandoned clients became rollout-guard rollback evidence: yes"
+echo "$out" | grep -q "controller detected the flood and mitigated the resolver: yes"
 
 # Simulator perf gates, from fresh CRITERION_FAST runs of the group.
 # (a) Observatory overhead: the instrumented event loop must stay within
