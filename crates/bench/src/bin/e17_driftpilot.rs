@@ -1,0 +1,4 @@
+//! Regenerates the `e17_driftpilot` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e17_driftpilot::run());
+}

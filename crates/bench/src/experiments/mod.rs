@@ -19,3 +19,4 @@ pub mod e13_perf_pinpoint;
 pub mod e14_chaos;
 pub mod e15_rollout_guard;
 pub mod e16_resolver;
+pub mod e17_driftpilot;

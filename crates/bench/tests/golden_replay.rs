@@ -57,3 +57,8 @@ fn e15_rollout_guard_replays_byte_for_byte() {
 fn e16_resolver_replays_byte_for_byte() {
     replay("E16", include_str!("../golden/E16.golden"));
 }
+
+#[test]
+fn e17_driftpilot_replays_byte_for_byte() {
+    replay("E17", include_str!("../golden/E17.golden"));
+}

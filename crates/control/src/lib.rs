@@ -29,6 +29,7 @@ pub mod detector;
 pub mod devloop;
 pub mod controller;
 pub mod rollout;
+pub mod driftpilot;
 pub mod observe;
 
 pub use controller::{
@@ -37,8 +38,12 @@ pub use controller::{
 };
 pub use detector::{Detection, StreamingWindowDetector};
 pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};
+pub use driftpilot::{
+    records_hash, retrain_window, DriftEpisode, DriftPilot, DriftPilotConfig, RetrainOutcome,
+    RetrainRecord, RetrainTrigger,
+};
 pub use fastloop::{DeployedFilter, FastLoopStats, ShadowMirror, ShadowWindow};
-pub use observe::{ControllerObs, DetectorObs, RolloutObs};
+pub use observe::{ControllerObs, DetectorObs, DriftObs, RolloutObs};
 pub use rollout::{
     BreakerState, CircuitBreaker, CircuitBreakerPolicy, ProgramRegistry, RejectReason,
     RolloutConfig, RolloutEvent, RolloutEventKind, RolloutGuard, RolloutStage, SloPolicy,

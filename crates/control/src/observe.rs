@@ -541,6 +541,284 @@ impl RolloutObs {
     }
 }
 
+/// Drift-onset → SLOs-green histogram bounds, milliseconds of sim time.
+/// Drift mitigation rides the full retrain→shadow→canary→full ladder, so
+/// the interesting range sits well above the controller's TTM bounds.
+pub const DRIFT_TTM_BOUNDS: [u64; 7] = [250, 500, 1_000, 2_000, 5_000, 10_000, 30_000];
+
+/// Metrics + per-campaign spans for one [`crate::driftpilot::DriftPilot`].
+#[derive(Debug, Clone)]
+pub struct DriftObs {
+    registry: Registry,
+    /// Value store; bumped by the pilot, read back through typed ids.
+    pub sink: ObsSink,
+    /// Per-drift spans (`drift[#k]`, onset to SLOs green) and per-retrain
+    /// spans (`retrain[#k]`), sim-time stamped.
+    pub tracer: Tracer,
+    windows: CounterId,
+    records: CounterId,
+    retrains: CounterId,
+    retrains_periodic: CounterId,
+    retrains_drift: CounterId,
+    budget_rejected: CounterId,
+    unchanged: CounterId,
+    submitted: CounterId,
+    guard_refused: CounterId,
+    committed: CounterId,
+    vetoed: CounterId,
+    rolled_back: CounterId,
+    drift_onsets: CounterId,
+    drift_mitigated: CounterId,
+    drift_score_milli: GaugeId,
+    pending: GaugeId,
+    drift_ttm_ms: HistogramId,
+}
+
+impl Default for DriftObs {
+    fn default() -> Self {
+        DriftObs::new()
+    }
+}
+
+impl DriftObs {
+    /// Build the drift-pilot schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let windows = reg.counter("dp_windows_total", "feature windows sealed and scored");
+        let records =
+            reg.counter("dp_records_total", "tap records streamed into the training buffer");
+        let retrains = reg.counter("dp_retrains_total", "retraining runs over fresh windows");
+        let retrains_periodic =
+            reg.counter("dp_retrains_periodic_total", "retrains fired by the periodic schedule");
+        let retrains_drift =
+            reg.counter("dp_retrains_drift_total", "retrains fired by the drift-score threshold");
+        let budget_rejected = reg.counter(
+            "dp_budget_rejected_total",
+            "candidates discarded because they blow the switch resource budget",
+        );
+        let unchanged = reg.counter(
+            "dp_unchanged_total",
+            "retrains reproducing a deployed or already-judged fingerprint; not submitted",
+        );
+        let submitted =
+            reg.counter("dp_candidates_submitted_total", "candidates handed to the rollout guard");
+        let guard_refused = reg.counter(
+            "dp_candidates_refused_total",
+            "candidates the guard refused (busy or cooling down); pilot resubmits later",
+        );
+        let committed =
+            reg.counter("dp_candidates_committed_total", "pilot candidates committed as known-good");
+        let vetoed = reg.counter("dp_candidates_vetoed_total", "pilot candidates vetoed in shadow");
+        let rolled_back =
+            reg.counter("dp_candidates_rolled_back_total", "pilot candidates rolled back");
+        let drift_onsets =
+            reg.counter("dp_drift_onsets_total", "drift episodes opened by the score threshold");
+        let drift_mitigated = reg.counter(
+            "dp_drift_mitigated_total",
+            "drift episodes closed with a committed candidate and SLOs green",
+        );
+        let drift_score_milli =
+            reg.gauge("dp_drift_score_milli", "last window drift score, thousandths");
+        let pending = reg.gauge("dp_pending_records", "records buffered toward the next retrain");
+        let drift_ttm_ms = reg.histogram(
+            "dp_drift_ttm_ms",
+            "drift onset to mitigated-with-SLOs-green, milliseconds of sim time",
+            &DRIFT_TTM_BOUNDS,
+        );
+        let sink = reg.sink();
+        DriftObs {
+            registry: reg,
+            sink,
+            tracer: Tracer::new(),
+            windows,
+            records,
+            retrains,
+            retrains_periodic,
+            retrains_drift,
+            budget_rejected,
+            unchanged,
+            submitted,
+            guard_refused,
+            committed,
+            vetoed,
+            rolled_back,
+            drift_onsets,
+            drift_mitigated,
+            drift_score_milli,
+            pending,
+            drift_ttm_ms,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_record(&mut self) {
+        self.sink.inc(self.records);
+    }
+
+    #[inline]
+    pub(crate) fn on_window(&mut self, drift_score_milli: i64) {
+        self.sink.inc(self.windows);
+        self.sink.set(self.drift_score_milli, drift_score_milli);
+    }
+
+    #[inline]
+    pub(crate) fn set_pending(&mut self, n: usize) {
+        self.sink.set(self.pending, n as i64);
+    }
+
+    /// A retrain ran; `drift_triggered` says which schedule fired it.
+    #[inline]
+    pub(crate) fn on_retrain(&mut self, drift_triggered: bool) {
+        self.sink.inc(self.retrains);
+        if drift_triggered {
+            self.sink.inc(self.retrains_drift);
+        } else {
+            self.sink.inc(self.retrains_periodic);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_budget_rejected(&mut self) {
+        self.sink.inc(self.budget_rejected);
+    }
+
+    #[inline]
+    pub(crate) fn on_unchanged(&mut self) {
+        self.sink.inc(self.unchanged);
+    }
+
+    #[inline]
+    pub(crate) fn on_submitted(&mut self) {
+        self.sink.inc(self.submitted);
+    }
+
+    #[inline]
+    pub(crate) fn on_guard_refused(&mut self) {
+        self.sink.inc(self.guard_refused);
+    }
+
+    #[inline]
+    pub(crate) fn on_committed(&mut self) {
+        self.sink.inc(self.committed);
+    }
+
+    #[inline]
+    pub(crate) fn on_vetoed(&mut self) {
+        self.sink.inc(self.vetoed);
+    }
+
+    #[inline]
+    pub(crate) fn on_rolled_back(&mut self) {
+        self.sink.inc(self.rolled_back);
+    }
+
+    /// A drift episode opened; returns its span.
+    #[inline]
+    pub(crate) fn on_drift_onset(&mut self, ordinal: u64, now_ns: u64) -> OpenSpan {
+        self.sink.inc(self.drift_onsets);
+        self.tracer.open(format!("drift[#{ordinal}]"), now_ns)
+    }
+
+    /// A drift episode closed green; records the end-to-end TTM.
+    #[inline]
+    pub(crate) fn on_drift_mitigated(&mut self, span: OpenSpan, onset_ns: u64, green_ns: u64) {
+        self.sink.inc(self.drift_mitigated);
+        self.sink
+            .observe(self.drift_ttm_ms, green_ns.saturating_sub(onset_ns) / 1_000_000);
+        self.tracer.close(span, green_ns);
+    }
+
+    /// Records streamed in.
+    pub fn records(&self) -> u64 {
+        self.sink.counter(self.records)
+    }
+
+    /// Feature windows sealed and scored.
+    pub fn windows(&self) -> u64 {
+        self.sink.counter(self.windows)
+    }
+
+    /// Retraining runs.
+    pub fn retrains(&self) -> u64 {
+        self.sink.counter(self.retrains)
+    }
+
+    /// Retrains fired by the periodic schedule.
+    pub fn retrains_periodic(&self) -> u64 {
+        self.sink.counter(self.retrains_periodic)
+    }
+
+    /// Retrains fired by the drift-score threshold.
+    pub fn retrains_drift(&self) -> u64 {
+        self.sink.counter(self.retrains_drift)
+    }
+
+    /// Candidates discarded by the resource-budget check.
+    pub fn budget_rejected(&self) -> u64 {
+        self.sink.counter(self.budget_rejected)
+    }
+
+    /// Retrains that reproduced the deployed fingerprint.
+    pub fn unchanged(&self) -> u64 {
+        self.sink.counter(self.unchanged)
+    }
+
+    /// Candidates handed to the guard.
+    pub fn submitted(&self) -> u64 {
+        self.sink.counter(self.submitted)
+    }
+
+    /// Candidates the guard refused.
+    pub fn guard_refused(&self) -> u64 {
+        self.sink.counter(self.guard_refused)
+    }
+
+    /// Pilot candidates committed as known-good.
+    pub fn committed(&self) -> u64 {
+        self.sink.counter(self.committed)
+    }
+
+    /// Pilot candidates vetoed in shadow.
+    pub fn vetoed(&self) -> u64 {
+        self.sink.counter(self.vetoed)
+    }
+
+    /// Pilot candidates rolled back.
+    pub fn rolled_back(&self) -> u64 {
+        self.sink.counter(self.rolled_back)
+    }
+
+    /// Drift episodes opened.
+    pub fn drift_onsets(&self) -> u64 {
+        self.sink.counter(self.drift_onsets)
+    }
+
+    /// Drift episodes closed green.
+    pub fn drift_mitigated(&self) -> u64 {
+        self.sink.counter(self.drift_mitigated)
+    }
+
+    /// Last window drift score, thousandths.
+    pub fn drift_score_milli(&self) -> i64 {
+        self.sink.gauge(self.drift_score_milli)
+    }
+
+    /// The drift-onset → SLOs-green histogram (milliseconds).
+    pub fn drift_ttm_histogram(&self) -> &Histogram {
+        self.sink.histogram(self.drift_ttm_ms)
+    }
+
+    /// Render as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render(&self.sink)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,5 +902,50 @@ mod tests {
         assert!(text.contains("rollout_submissions_total 2"));
         assert!(text.contains("rollout_rollbacks_total 1"));
         assert!(text.contains("rollout_stage 1"));
+    }
+
+    #[test]
+    fn drift_lifecycle_accounting_and_render() {
+        let mut obs = DriftObs::new();
+        obs.on_record();
+        obs.on_record();
+        obs.on_window(420);
+        obs.set_pending(2);
+        obs.on_retrain(false);
+        obs.on_retrain(true);
+        obs.on_budget_rejected();
+        obs.on_unchanged();
+        obs.on_submitted();
+        obs.on_guard_refused();
+        obs.on_vetoed();
+        obs.on_rolled_back();
+        obs.on_committed();
+        let span = obs.on_drift_onset(1, 2_000_000_000);
+        obs.on_drift_mitigated(span, 2_000_000_000, 5_500_000_000);
+        assert_eq!(obs.records(), 2);
+        assert_eq!(obs.windows(), 1);
+        assert_eq!(obs.retrains(), 2);
+        assert_eq!(obs.retrains_periodic(), 1);
+        assert_eq!(obs.retrains_drift(), 1);
+        assert_eq!(obs.budget_rejected(), 1);
+        assert_eq!(obs.unchanged(), 1);
+        assert_eq!(obs.submitted(), 1);
+        assert_eq!(obs.guard_refused(), 1);
+        assert_eq!(obs.vetoed(), 1);
+        assert_eq!(obs.rolled_back(), 1);
+        assert_eq!(obs.committed(), 1);
+        assert_eq!(obs.drift_onsets(), 1);
+        assert_eq!(obs.drift_mitigated(), 1);
+        assert_eq!(obs.drift_score_milli(), 420);
+        assert_eq!(obs.drift_ttm_histogram().count(), 1);
+        assert_eq!(obs.drift_ttm_histogram().sum(), 3_500);
+        let spans = obs.tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "drift[#1]");
+        assert_eq!(spans[0].end_ns, 5_500_000_000);
+        let text = obs.render();
+        assert!(text.contains("dp_retrains_total 2"));
+        assert!(text.contains("dp_drift_ttm_ms_bucket{le=\"5000\"} 1"));
+        assert!(text.contains("dp_drift_score_milli 420"));
     }
 }

@@ -508,7 +508,31 @@ impl RolloutGuard {
         self.events.push(RolloutEvent { at, program, kind });
     }
 
-    fn submit(&mut self, now: SimTime, program: PipelineProgram, cmds: &mut Commands) {
+    /// Submit a dynamically produced candidate (DriftPilot's retrained
+    /// programs arrive here), outside the config-scheduled submission
+    /// list. Returns the version that entered Shadow, or why the guard
+    /// refused it (busy with another candidate, or inside the
+    /// post-rollback cooldown). A rejection is recorded as a guard event
+    /// either way, so the decision is auditable.
+    pub fn submit_candidate(
+        &mut self,
+        now: SimTime,
+        program: PipelineProgram,
+        cmds: &mut Commands,
+    ) -> Result<ProgramVersion, RejectReason> {
+        let version = program.version();
+        match self.submit(now, program, cmds) {
+            None => Ok(version),
+            Some(reason) => Err(reason),
+        }
+    }
+
+    fn submit(
+        &mut self,
+        now: SimTime,
+        program: PipelineProgram,
+        cmds: &mut Commands,
+    ) -> Option<RejectReason> {
         let version = program.version();
         let reject = if self.stage != RolloutStage::Idle {
             Some(RejectReason::Busy)
@@ -520,7 +544,7 @@ impl RolloutGuard {
         if let Some(reason) = reject {
             self.obs.on_submission(false);
             self.push_event(now, version, RolloutEventKind::Rejected(reason));
-            return;
+            return Some(reason);
         }
         self.obs.on_submission(true);
         let mirror = ShadowMirror::new(program.clone(), self.cfg.extractor.clone());
@@ -532,6 +556,7 @@ impl RolloutGuard {
         self.enter_stage(now, RolloutStage::Shadow);
         self.last_bank = self.bank.stats();
         self.arm_window(now, cmds);
+        None
     }
 
     fn arm_window(&mut self, now: SimTime, cmds: &mut Commands) {
@@ -1235,5 +1260,94 @@ mod tests {
             guard.events.last().map(|e| e.kind),
             Some(RolloutEventKind::Vetoed(SloViolation::FalsePositiveRate))
         ));
+    }
+
+    #[test]
+    fn candidate_arriving_mid_cooldown_waits_out_the_veto() {
+        // A veto arms the cooldown; a fresh candidate arriving inside it
+        // must be refused — and the same candidate is welcome the moment
+        // the cooldown expires.
+        let (mut guard, _handle, mut filter) = guard_with(Vec::new(), Vec::new());
+        let mut b = PacketBuilder::new();
+        let mut cmds = Commands::default();
+        let dst = Ipv4Addr::new(10, 1, 1, 10);
+
+        guard
+            .submit_candidate(SimTime::from_secs(1), drop_all_udp("bad"), &mut cmds)
+            .expect("idle guard takes the first candidate");
+        // Two windows of benign UDP: the overbroad candidate flags all of
+        // it and is vetoed at t=3s, arming the 2s cooldown.
+        for w in 0..2u64 {
+            let from = SimTime::from_secs(1 + w);
+            feed_window(&mut guard, &mut filter, &mut b, from, 10, benign_udp, dst, &mut cmds);
+            tick(&mut guard, SimTime::from_secs(2 + w), &mut cmds);
+        }
+        assert!(matches!(
+            guard.events.last().map(|e| e.kind),
+            Some(RolloutEventKind::Vetoed(SloViolation::FalsePositiveRate))
+        ));
+        assert_eq!(guard.stage(), RolloutStage::Idle);
+
+        // t=4s is mid-cooldown: refused even though the guard is Idle,
+        // and the refusal is an auditable event.
+        let v2 = drop_https("v2");
+        let refused = guard.submit_candidate(SimTime::from_secs(4), v2.clone(), &mut cmds);
+        assert_eq!(refused.unwrap_err(), RejectReason::Cooldown);
+        assert_eq!(guard.stage(), RolloutStage::Idle);
+        assert!(matches!(
+            guard.events.last().map(|e| e.kind),
+            Some(RolloutEventKind::Rejected(RejectReason::Cooldown))
+        ));
+        assert_eq!(guard.obs.rejected(), 1);
+
+        // At exactly t=5s the cooldown has elapsed: accepted into Shadow.
+        let accepted = guard.submit_candidate(SimTime::from_secs(5), v2, &mut cmds);
+        assert_eq!(accepted.expect("cooldown expired").name, "v2");
+        assert_eq!(guard.stage(), RolloutStage::Shadow);
+    }
+
+    #[test]
+    fn back_to_back_candidates_race_a_single_slo_window() {
+        // Two candidates inside one SLO window: the first takes the
+        // guard, the second bounces with Busy, and the survivor's window
+        // evidence is evaluated unpolluted — it promotes on its own
+        // schedule, with the loser shut out for the whole rollout.
+        let (mut guard, _handle, mut filter) = guard_with(Vec::new(), Vec::new());
+        let mut b = PacketBuilder::new();
+        let mut cmds = Commands::default();
+        let dst = Ipv4Addr::new(10, 1, 1, 10);
+
+        let first = drop_https("first");
+        let second = drop_https("second");
+        let first_version = first.version();
+        guard
+            .submit_candidate(SimTime::from_millis(1_100), first, &mut cmds)
+            .expect("first candidate enters Shadow");
+        // 500ms later, same SLO window: the race is lost cleanly.
+        let lost =
+            guard.submit_candidate(SimTime::from_millis(1_600), second.clone(), &mut cmds);
+        assert_eq!(lost.unwrap_err(), RejectReason::Busy);
+        assert_eq!(guard.events.last().unwrap().program, second.version());
+
+        // The race leaves no mark on the survivor: quiet UDP windows walk
+        // it through Shadow exactly as if it had arrived alone.
+        for w in 0..2u64 {
+            let from = SimTime::from_secs(1 + w);
+            feed_window(&mut guard, &mut filter, &mut b, from, 10, benign_udp, dst, &mut cmds);
+            tick(&mut guard, SimTime::from_secs(2 + w), &mut cmds);
+        }
+        assert_eq!(guard.stage(), RolloutStage::Canary);
+        let submitted: Vec<_> = guard
+            .events
+            .iter()
+            .filter(|e| e.kind == RolloutEventKind::Submitted)
+            .map(|e| e.program.clone())
+            .collect();
+        assert_eq!(submitted, vec![first_version], "only the winner was ever admitted");
+
+        // Mid-canary the loser still cannot slip in.
+        let retry = guard.submit_candidate(SimTime::from_millis(3_100), second, &mut cmds);
+        assert_eq!(retry.unwrap_err(), RejectReason::Busy);
+        assert_eq!(guard.obs.rejected(), 2);
     }
 }

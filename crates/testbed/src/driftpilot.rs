@@ -1,0 +1,418 @@
+//! Drift road tests (experiment E17): the always-on learn → distill →
+//! compile → deploy loop under traffic drift. A [`DriftPilot`] streams
+//! features off the border tap, retrains on fresh windows when its drift
+//! score fires (or on the periodic schedule), and hands candidate
+//! programs to the [`RolloutGuard`]'s shadow → canary → full machinery —
+//! while the [`MitigationController`] keeps defending the campus with
+//! whatever program is currently deployed. All three hooks share one
+//! simulation; every coupling between them happens inside hook callbacks
+//! on sim-time state only, so the whole pipeline replays byte-identically
+//! under sequential, parallel and sharded executors.
+
+use crate::observe::RunObs;
+use crate::roadtest::RoadTestConfig;
+use crate::rollout::canary_hosts;
+use crate::scenario::{build_schedule, Scenario};
+use campuslab_control::{
+    BankFilter, DriftEpisode, DriftPilot, DriftPilotConfig, MitigationController,
+    MitigationControllerConfig, RetrainRecord, RolloutConfig, RolloutEvent, RolloutGuard,
+    SloPolicy, TeacherKind,
+};
+use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_ml::{Classifier, ForestConfig};
+use campuslab_netsim::{
+    Campus, Commands, Dir, DropReason, LinkId, NodeId, Packet, SimDuration, SimHooks, SimTime,
+};
+use campuslab_obs::Tracer;
+use std::net::Ipv4Addr;
+
+/// Parameters of a drift road test.
+pub struct DriftRunConfig {
+    /// Base road-test knobs (placement, chaos, blackouts, install channel).
+    pub road: RoadTestConfig,
+    /// SLO windows, gates and hysteresis for the guard. The default uses
+    /// `promote_after: 1` so a healthy candidate climbs the full ladder in
+    /// three SLO windows — drift mitigation is racing live damage, and the
+    /// shadow/canary gates still veto a bad program before it spreads.
+    pub slo: SloPolicy,
+    /// Fraction of access switches whose hosts form the canary cohort.
+    pub canary_fraction: f64,
+    /// Pilot knobs. `tap` and `deployed_fingerprint` are overwritten by
+    /// the runner (border link, known-good program's fingerprint).
+    pub pilot: DriftPilotConfig,
+}
+
+impl Default for DriftRunConfig {
+    fn default() -> Self {
+        // The always-on pilot retrains every couple of sim seconds, so its
+        // teacher is a deliberately small forest: the distilled student is
+        // what deploys anyway, and an 8-tree teacher keeps a full drift
+        // road test fast enough to replay in CI at several shard counts.
+        let mut pilot = DriftPilotConfig::new(LinkId(0), 0);
+        pilot.devloop.teacher =
+            TeacherKind::Forest(ForestConfig { n_trees: 8, ..ForestConfig::default() });
+        DriftRunConfig {
+            road: RoadTestConfig::default(),
+            slo: SloPolicy { promote_after: 1, ..SloPolicy::default() },
+            canary_fraction: 0.25,
+            pilot,
+        }
+    }
+}
+
+/// Guard + controller + pilot composed over one simulation. Per event the
+/// order is: guard first (mirroring must observe traffic the way the bank
+/// does), controller second (defense reaction), pilot third (feature
+/// ingest), then [`DriftHooks::sync`] moves evidence between them.
+pub struct DriftHooks {
+    pub guard: RolloutGuard,
+    pub controller: MitigationController,
+    pub pilot: DriftPilot,
+    seen_ctl_events: usize,
+    seen_ctl_giveups: usize,
+    seen_guard_events: usize,
+}
+
+impl DriftHooks {
+    /// Compose the three layers.
+    pub fn new(guard: RolloutGuard, controller: MitigationController, pilot: DriftPilot) -> Self {
+        DriftHooks {
+            guard,
+            controller,
+            pilot,
+            seen_ctl_events: 0,
+            seen_ctl_giveups: 0,
+            seen_guard_events: 0,
+        }
+    }
+
+    /// Forward freshly produced guard events to the pilot (so verdicts on
+    /// its candidates land before it decides what to queue next).
+    fn forward_guard_events(&mut self) {
+        while self.seen_guard_events < self.guard.events.len() {
+            let e = self.guard.events[self.seen_guard_events].clone();
+            self.seen_guard_events += 1;
+            self.pilot.on_guard_event(&e);
+        }
+    }
+
+    /// One evidence pass after each hook: controller episodes become guard
+    /// SLO samples and guard verdicts reach the pilot.
+    fn sync(&mut self) {
+        for e in &self.controller.events[self.seen_ctl_events..] {
+            let ttm_ms = (e.installed_at - e.detected_at).as_nanos() / 1_000_000;
+            self.guard.record_ttm_sample(ttm_ms);
+        }
+        self.seen_ctl_events = self.controller.events.len();
+        for g in &self.controller.giveups[self.seen_ctl_giveups..] {
+            self.guard.record_giveup(g.reason);
+        }
+        self.seen_ctl_giveups = self.controller.giveups.len();
+        self.forward_guard_events();
+    }
+
+    /// Submit the pilot's queued candidates — on timer events only, so a
+    /// candidate refused while the guard is busy retries at timer cadence
+    /// (a handful per sim second) instead of on every packet, which would
+    /// flood the decision log with rejections. Candidates are produced by
+    /// the pilot's own window timer, so submission latency is zero; the
+    /// drain runs once, never to quiescence, because a refused candidate
+    /// re-queues itself and a loop would spin.
+    fn drain_candidates(&mut self, now: SimTime, cmds: &mut Commands) {
+        for program in self.pilot.take_candidates() {
+            match self.guard.submit_candidate(now, program.clone(), cmds) {
+                Ok(version) => self.pilot.on_guard_accepted(&version),
+                Err(_) => self.pilot.on_guard_refused(program),
+            }
+        }
+        // The submissions themselves appended Submitted/Rejected events.
+        self.forward_guard_events();
+    }
+}
+
+impl SimHooks for DriftHooks {
+    fn on_tap(&mut self, now: SimTime, link: LinkId, dir: Dir, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_tap(now, link, dir, packet, cmds);
+        self.controller.on_tap(now, link, dir, packet, cmds);
+        self.pilot.on_tap(now, link, dir, packet, cmds);
+        self.sync();
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: &Packet,
+        latency: SimDuration,
+        cmds: &mut Commands,
+    ) {
+        self.guard.on_deliver(now, node, packet, latency, cmds);
+        self.controller.on_deliver(now, node, packet, latency, cmds);
+        self.pilot.on_deliver(now, node, packet, latency, cmds);
+        self.sync();
+    }
+
+    fn on_drop(&mut self, now: SimTime, reason: DropReason, packet: &Packet, cmds: &mut Commands) {
+        self.guard.on_drop(now, reason, packet, cmds);
+        self.controller.on_drop(now, reason, packet, cmds);
+        self.pilot.on_drop(now, reason, packet, cmds);
+        self.sync();
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: u64, cmds: &mut Commands) {
+        self.guard.on_timer(now, token, cmds);
+        self.controller.on_timer(now, token, cmds);
+        self.pilot.on_timer(now, token, cmds);
+        self.sync();
+        self.drain_candidates(now, cmds);
+    }
+}
+
+/// What a drift road test measured.
+pub struct DriftRunOutcome {
+    /// Drift episodes the pilot opened, in onset order.
+    pub episodes: Vec<DriftEpisode>,
+    /// Every retraining run: trigger, window hash, fingerprints, fate.
+    pub retrains: Vec<RetrainRecord>,
+    /// The guard's decision log, in sim order.
+    pub events: Vec<RolloutEvent>,
+    /// Fingerprint the pilot believes is deployed at run end.
+    pub final_deployed: u64,
+    /// Known-good versions committed by the end of the run.
+    pub registry_len: usize,
+    pub filter: campuslab_control::FastLoopStatsSnapshot,
+    pub net: campuslab_netsim::NetStats,
+    /// The amplification victim's address, when the scenario has one.
+    pub victim: Option<Ipv4Addr>,
+    /// When the (first) attack campaign started.
+    pub attack_start: Option<SimTime>,
+    /// Observatory bundle, drift section included.
+    pub obs: RunObs,
+}
+
+impl DriftRunOutcome {
+    /// Sim time from the first drift onset to its mitigated-with-SLOs-green
+    /// close, when the run got that far.
+    pub fn first_mitigated_ttm(&self) -> Option<SimDuration> {
+        self.episodes.iter().find_map(|e| e.mitigated.map(|m| m - e.onset))
+    }
+
+    /// Retrains and guard decisions merged into one sim-ordered log — the
+    /// always-on pipeline's story an operator reads after an incident.
+    pub fn timeline(&self) -> String {
+        let mut lines: Vec<(SimTime, String)> = Vec::new();
+        for r in &self.retrains {
+            lines.push((
+                r.at,
+                format!(
+                    "{} retrain[{:?}] records={} fp={:016x} -> {:?}\n",
+                    r.at, r.trigger, r.records, r.program_fingerprint, r.outcome
+                ),
+            ));
+        }
+        for e in &self.events {
+            lines.push((e.at, format!("{} {} {:?}\n", e.at, e.program, e.kind)));
+        }
+        for ep in &self.episodes {
+            lines.push((ep.onset, format!("{} drift[#{}] onset\n", ep.onset, ep.ordinal)));
+            if let Some(m) = ep.mitigated {
+                lines.push((m, format!("{} drift[#{}] mitigated\n", m, ep.ordinal)));
+            }
+        }
+        lines.sort_by_key(|(at, _)| *at);
+        lines.into_iter().map(|(_, l)| l).collect()
+    }
+}
+
+/// Run a drift road test: the scenario plays out while the controller
+/// defends the campus with the known-good program, the pilot retrains on
+/// fresh tap windows, and the guard walks each pilot candidate through
+/// shadow → canary → full.
+pub fn drift_road_test(
+    scenario: &Scenario,
+    known_good: PipelineProgram,
+    window_model: Box<dyn Classifier + Send>,
+    cfg: DriftRunConfig,
+) -> DriftRunOutcome {
+    let campus = Campus::build(scenario.campus.clone());
+    let (mut schedule, victim, attack_start) = build_schedule(&campus, scenario);
+    let cohort = canary_hosts(&campus, cfg.canary_fraction);
+    let mut net = campus.net;
+    schedule.apply_to(&mut net);
+    if let Some(plan) = &cfg.road.chaos {
+        plan.apply_to(&mut net);
+    }
+
+    let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
+    let (bank, handle) = BankFilter::new(extractor.clone());
+    net.install_filter(campus.border, bank);
+
+    let guard = RolloutGuard::new(
+        RolloutConfig {
+            tap: campus.border_link,
+            extractor,
+            slo: cfg.slo.clone(),
+            canary_hosts: cohort,
+            tap_blackouts: cfg.road.tap_blackouts.clone(),
+            submissions: Vec::new(),
+        },
+        known_good.clone(),
+        handle.clone(),
+    );
+    let controller = MitigationController::new(
+        MitigationControllerConfig {
+            tap: campus.border_link,
+            placement: cfg.road.placement,
+            gate: cfg.road.gate,
+            window_ns: cfg.road.window_ns,
+            min_packets: cfg.road.min_packets,
+            program: known_good.clone(),
+            install: cfg.road.install.clone(),
+            tap_blackouts: cfg.road.tap_blackouts.clone(),
+        },
+        window_model,
+        handle.clone(),
+    );
+    let pilot = DriftPilot::new(DriftPilotConfig {
+        tap: campus.border_link,
+        deployed_fingerprint: known_good.fingerprint(),
+        ..cfg.pilot
+    });
+
+    let mut hooks = DriftHooks::new(guard, controller, pilot);
+    // An always-on pipeline has no natural drain point: a candidate
+    // submitted just before traffic ends would leave the guard evaluating
+    // inconclusive empty windows forever. Cap the run at the workload
+    // span plus a fixed settling margin — a deterministic sim-time bound,
+    // identical under every executor.
+    let deadline =
+        SimTime::ZERO + scenario.workload.duration + SimDuration::from_secs(4);
+    net.run(&mut hooks, Some(deadline));
+
+    let mut tracer = Tracer::new();
+    let end_ns = net.now().as_nanos();
+    tracer.record("drift-roadtest".to_string(), 0, end_ns);
+    let (controller_obs, detector_obs) = hooks.controller.take_obs();
+    tracer.merge_from(&controller_obs.tracer);
+    let rollout_obs = hooks.guard.take_obs();
+    tracer.merge_from(&rollout_obs.tracer);
+    let drift_obs = hooks.pilot.take_obs();
+    tracer.merge_from(&drift_obs.tracer);
+
+    let filter = handle.stats();
+    DriftRunOutcome {
+        episodes: std::mem::take(&mut hooks.pilot.episodes),
+        retrains: std::mem::take(&mut hooks.pilot.retrains),
+        events: std::mem::take(&mut hooks.guard.events),
+        final_deployed: hooks.pilot.deployed_fingerprint(),
+        registry_len: hooks.guard.registry().len(),
+        filter,
+        net: net.stats,
+        victim,
+        attack_start,
+        obs: RunObs {
+            net: net.obs,
+            capture: None,
+            detector: Some(detector_obs),
+            controller: Some(controller_obs),
+            filter: Some(filter),
+            tracer,
+            rollout: Some(rollout_obs),
+            resolver: None,
+            drift: Some(drift_obs),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::collect;
+    use campuslab_control::{run_development_loop, DevLoopConfig, RetrainOutcome, RolloutEventKind};
+    use campuslab_features::{window_dataset, LabelMode, WindowConfig};
+    use campuslab_ml::{DecisionTree, TreeConfig};
+
+    fn trained() -> (PipelineProgram, DecisionTree) {
+        let data = collect(&Scenario::small());
+        let dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+        let wd = window_dataset(
+            &data.packets,
+            WindowConfig { window_ns: 1_000_000_000, min_packets: 5 },
+            LabelMode::BinaryAttack,
+        );
+        (dev.program, DecisionTree::fit(&wd, TreeConfig::shallow(4)))
+    }
+
+    #[test]
+    fn pilot_retrains_and_commits_under_rotation_drift() {
+        let (known_good, model) = trained();
+        let outcome = drift_road_test(
+            &Scenario::drift_rotation(),
+            known_good.clone(),
+            Box::new(model),
+            DriftRunConfig::default(),
+        );
+        let dobs = outcome.obs.drift.as_ref().expect("drift obs");
+        // The pilot lived: windows sealed, records streamed, retrains ran.
+        assert!(dobs.windows() >= 10, "windows {}", dobs.windows());
+        assert!(dobs.records() > 1_000, "records {}", dobs.records());
+        assert!(dobs.retrains() >= 2, "timeline:\n{}", outcome.timeline());
+        // At least one candidate was handed to the guard and at least one
+        // pilot candidate was committed as the new known-good.
+        assert!(dobs.submitted() >= 1, "timeline:\n{}", outcome.timeline());
+        let committed = outcome
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, RolloutEventKind::Committed))
+            .count();
+        assert!(committed >= 1, "timeline:\n{}", outcome.timeline());
+        assert!(outcome.registry_len >= 2, "registry {}", outcome.registry_len);
+        // The pilot's deployed fingerprint moved off the stale program.
+        assert_ne!(outcome.final_deployed, known_good.fingerprint());
+        // Every retrain is on the record with a fate.
+        assert_eq!(outcome.retrains.len() as u64, dobs.retrains());
+        // The prom dump carries the drift section.
+        assert!(outcome.obs.prom().contains("dp_retrains_total"));
+    }
+
+    #[test]
+    fn benign_drift_never_bars_or_breaks_the_pipeline() {
+        let (known_good, model) = trained();
+        let outcome = drift_road_test(
+            &Scenario::drift_app_rollout(),
+            known_good,
+            Box::new(model),
+            DriftRunConfig::default(),
+        );
+        // Single-class (all-benign) windows retrain safely: no panic, and
+        // every retrain lands one of the sanctioned fates.
+        assert!(outcome.retrains.iter().all(|r| matches!(
+            r.outcome,
+            RetrainOutcome::Queued | RetrainOutcome::Unchanged | RetrainOutcome::Barred
+        )));
+        // No attack, so the deployed filter never dropped benign traffic
+        // wholesale — the campus stays functional under model churn.
+        let total = outcome.filter.packets.max(1);
+        assert!(
+            outcome.filter.dropped_benign * 10 < total,
+            "benign drops {} of {}",
+            outcome.filter.dropped_benign,
+            total
+        );
+    }
+
+    #[test]
+    fn drift_run_is_deterministic() {
+        let (known_good, model) = trained();
+        let run = || {
+            let outcome = drift_road_test(
+                &Scenario::drift_rotation(),
+                known_good.clone(),
+                Box::new(model.clone()),
+                DriftRunConfig::default(),
+            );
+            (outcome.timeline(), outcome.obs.prom(), outcome.obs.trace_json())
+        };
+        assert_eq!(run(), run(), "drift run must be bit-identical across runs");
+    }
+}

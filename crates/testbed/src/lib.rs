@@ -44,11 +44,13 @@ pub mod rollout;
 pub mod crosscampus;
 pub mod trust;
 pub mod chaos_sweep;
+pub mod driftpilot;
 
 pub use chaos_sweep::{
     chaos_road_test_config, chaos_sweep, chaos_sweep_observed, ChaosPoint, ChaosSweepConfig,
 };
 pub use crosscampus::{cross_campus, cross_campus_observed, CampusSite, CrossCampusResult};
+pub use driftpilot::{drift_road_test, DriftHooks, DriftRunConfig, DriftRunOutcome};
 pub use hooks::Duo;
 pub use observe::RunObs;
 pub use roadtest::{

@@ -3,7 +3,7 @@
 //! parallel executions render byte-identical dumps.
 
 use campuslab_capture::CaptureObs;
-use campuslab_control::{ControllerObs, DetectorObs, FastLoopStatsSnapshot, RolloutObs};
+use campuslab_control::{ControllerObs, DetectorObs, DriftObs, FastLoopStatsSnapshot, RolloutObs};
 use campuslab_netsim::NetObs;
 use campuslab_obs::{Registry, Tracer};
 use campuslab_resolver::RsvObs;
@@ -33,6 +33,8 @@ pub struct RunObs {
     pub rollout: Option<RolloutObs>,
     /// Resolver-service telemetry (ResolverLab runs only).
     pub resolver: Option<RsvObs>,
+    /// DriftPilot telemetry (drift road tests only, experiment E17).
+    pub drift: Option<DriftObs>,
 }
 
 impl RunObs {
@@ -47,16 +49,18 @@ impl RunObs {
             tracer: Tracer::new(),
             rollout: None,
             resolver: None,
+            drift: None,
         }
     }
 
     /// Render every participating layer as one Prometheus text dump.
     ///
     /// Section order is fixed (net, capture, filter, detector, controller,
-    /// rollout, resolver) and each section renders its registry in
+    /// rollout, resolver, drift) and each section renders its registry in
     /// registration order, so the whole dump is byte-deterministic for a
     /// given run. New sections append at the end, so dumps from runs that
-    /// lack them are byte-for-byte what they always were.
+    /// lack them are byte-for-byte what they always were — the
+    /// `bundle_schema_is_append_only` test below pins that shape.
     pub fn prom(&self) -> String {
         let mut out = self.net.render();
         if let Some(c) = &self.capture {
@@ -76,6 +80,9 @@ impl RunObs {
         }
         if let Some(r) = &self.resolver {
             out.push_str(&r.render());
+        }
+        if let Some(d) = &self.drift {
+            out.push_str(&d.render());
         }
         out
     }
@@ -137,6 +144,7 @@ mod tests {
             detector: Some(DetectorObs::new()),
             controller: Some(ControllerObs::new()),
             resolver: Some(RsvObs::new()),
+            drift: Some(DriftObs::new()),
             ..RunObs::net_only(NetObs::new())
         };
         let text = bundle.prom();
@@ -144,8 +152,71 @@ mod tests {
         assert!(pos("sim_events_total") < pos("cap_observed_packets_total"));
         assert!(pos("cap_observed_packets_total") < pos("det_observed_records_total"));
         assert!(pos("det_observed_records_total") < pos("ctl_episodes_total"));
-        // The resolver section is the last addition, so dumps from runs
-        // without a resolver are unchanged byte for byte.
         assert!(pos("ctl_episodes_total") < pos("rsv_queries_total"));
+        // The drift section is the last addition, so dumps from runs
+        // without a pilot are unchanged byte for byte.
+        assert!(pos("rsv_queries_total") < pos("dp_windows_total"));
+    }
+
+    /// Golden-shape schema test: the bundle's section order is a frozen,
+    /// append-only contract. Every golden replay keys on this order, so a
+    /// refactor that reorders sections (or renames a sentinel family)
+    /// must fail HERE with a readable diff, not as an opaque golden-bytes
+    /// mismatch in the bench suite. Extending the bundle is legal only by
+    /// appending to the END of this list.
+    #[test]
+    fn bundle_schema_is_append_only() {
+        const SCHEMA: [(&str, &str); 8] = [
+            ("net", "sim_events_total"),
+            ("capture", "cap_observed_packets_total"),
+            ("filter", "flt_packets_total"),
+            ("detector", "det_observed_records_total"),
+            ("controller", "ctl_episodes_total"),
+            ("rollout", "rollout_submissions_total"),
+            ("resolver", "rsv_queries_total"),
+            ("drift", "dp_windows_total"),
+        ];
+        let bundle = RunObs {
+            capture: Some(CaptureObs::new()),
+            detector: Some(DetectorObs::new()),
+            controller: Some(ControllerObs::new()),
+            filter: Some(FastLoopStatsSnapshot::default()),
+            rollout: Some(RolloutObs::new()),
+            resolver: Some(RsvObs::new()),
+            drift: Some(DriftObs::new()),
+            ..RunObs::net_only(NetObs::new())
+        };
+        let text = bundle.prom();
+        // Recover each section's observed position by its sentinel family
+        // and compare the resulting order against the frozen schema.
+        let mut observed: Vec<(usize, &str)> = SCHEMA
+            .iter()
+            .map(|&(section, family)| {
+                let at = text
+                    .find(&format!("# HELP {family}"))
+                    .unwrap_or_else(|| panic!("bundle lost section {section} ({family})"));
+                (at, section)
+            })
+            .collect();
+        observed.sort();
+        let order: Vec<&str> = observed.into_iter().map(|(_, s)| s).collect();
+        let frozen: Vec<&str> = SCHEMA.iter().map(|&(s, _)| s).collect();
+        assert_eq!(
+            order, frozen,
+            "bundle sections reordered — the prom dump schema is append-only"
+        );
+        // A partial bundle renders the same prefix order with sections
+        // simply absent, never shuffled.
+        let partial = RunObs {
+            detector: Some(DetectorObs::new()),
+            drift: Some(DriftObs::new()),
+            ..RunObs::net_only(NetObs::new())
+        };
+        let ptext = partial.prom();
+        let net_at = ptext.find("# HELP sim_events_total").expect("net section");
+        let det_at = ptext.find("# HELP det_observed_records_total").expect("detector section");
+        let drift_at = ptext.find("# HELP dp_windows_total").expect("drift section");
+        assert!(net_at < det_at && det_at < drift_at);
+        assert!(!ptext.contains("rsv_queries_total"));
     }
 }

@@ -228,6 +228,7 @@ pub fn resolver_run(scenario: &Scenario, cfg: ResolverRunConfig) -> ResolverRunO
             tracer,
             rollout: Some(rollout_obs),
             resolver: Some(service.obs().clone()),
+            drift: None,
         },
     }
 }

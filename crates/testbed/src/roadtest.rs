@@ -192,6 +192,7 @@ pub fn road_test(
             tracer,
             rollout: None,
             resolver: None,
+            drift: None,
         },
     }
 }

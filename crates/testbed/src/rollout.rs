@@ -244,6 +244,7 @@ pub fn guarded_road_test(
             tracer,
             rollout: Some(rollout_obs),
             resolver: None,
+            drift: None,
         },
     }
 }

@@ -38,6 +38,16 @@ pub enum AttackScenario {
         start_frac: f64,
         duration_frac: f64,
     },
+    /// A reflection campaign that rotates its service port and reflector
+    /// pool between phases — the signature-evasion drift experiment E17
+    /// pivots on. Each phase is `(service_port, start_frac,
+    /// duration_frac)`; a filter trained on one phase's port/prefix
+    /// signature goes stale the moment the next phase starts.
+    RotatingReflection { victim_index: usize, qps: f64, phases: Vec<(u16, f64, f64)> },
+    /// A benign new-application rollout: extra sessions of one class ramp
+    /// in mid-run and shift the traffic mix with no attack labels at all
+    /// — drift the pilot must absorb without a false mitigation.
+    AppRollout { class: AppClass, sessions_per_sec: f64, start_frac: f64, duration_frac: f64 },
 }
 
 /// A complete scenario description.
@@ -111,6 +121,90 @@ impl Scenario {
                 amp_qps: 120.0,
                 start_frac: 0.25,
                 duration_frac: 0.5,
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+
+    /// The rotating-reflection drift scenario (experiment E17): phase one
+    /// reflects off port-53 servers early in the run — squarely inside
+    /// the signature any amplification-trained filter knows — then the
+    /// attacker rotates to port-123 reflectors from a different pool for
+    /// the back half. The stale filter passes phase two untouched; only
+    /// a pilot that retrains on fresh windows closes the gap. The victim
+    /// is `hosts[0]`, inside the default 25% canary cohort, so canary
+    /// SLOs see the drift directly.
+    pub fn drift_rotation() -> Self {
+        Scenario {
+            campus: CampusConfig {
+                dist_count: 2,
+                access_per_dist: 2,
+                hosts_per_access: 4,
+                external_hosts: 12,
+                ..CampusConfig::default()
+            },
+            workload: WorkloadConfig {
+                duration: SimDuration::from_secs(14),
+                sessions_per_sec: 12.0,
+                ..WorkloadConfig::default()
+            },
+            attack: AttackScenario::RotatingReflection {
+                victim_index: 0,
+                qps: 400.0,
+                phases: vec![(53, 0.05, 0.25), (123, 0.45, 0.45)],
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+
+    /// Benign diurnal drift: the whole day/night load curve compressed
+    /// into one short run (`day_length == duration`), no attack at all.
+    /// The pilot's drift score must ride out the load swing without
+    /// opening a false episode that mitigates thin air.
+    pub fn drift_diurnal() -> Self {
+        Scenario {
+            campus: CampusConfig {
+                dist_count: 2,
+                access_per_dist: 2,
+                hosts_per_access: 4,
+                external_hosts: 12,
+                ..CampusConfig::default()
+            },
+            workload: WorkloadConfig {
+                duration: SimDuration::from_secs(10),
+                sessions_per_sec: 14.0,
+                diurnal: true,
+                day_length: SimDuration::from_secs(10),
+                ..WorkloadConfig::default()
+            },
+            attack: AttackScenario::None,
+            monitor: MonitorConfig::default(),
+        }
+    }
+
+    /// Benign new-app rollout drift: a video-class application launches
+    /// campus-wide mid-run, shifting the traffic mix with zero attack
+    /// labels. Retraining on these windows must stay safe (single-class
+    /// data) and never produce a candidate that drops the new app.
+    pub fn drift_app_rollout() -> Self {
+        Scenario {
+            campus: CampusConfig {
+                dist_count: 2,
+                access_per_dist: 2,
+                hosts_per_access: 4,
+                external_hosts: 12,
+                ..CampusConfig::default()
+            },
+            workload: WorkloadConfig {
+                duration: SimDuration::from_secs(10),
+                sessions_per_sec: 10.0,
+                ..WorkloadConfig::default()
+            },
+            attack: AttackScenario::AppRollout {
+                class: AppClass::Video,
+                sessions_per_sec: 8.0,
+                start_frac: 0.5,
+                duration_frac: 0.45,
             },
             monitor: MonitorConfig::default(),
         }
@@ -199,6 +293,27 @@ pub fn build_schedule(campus: &Campus, scenario: &Scenario) -> (Schedule, Option
                 // The burst spoofs a campus host as its reflection victim.
                 gen.add_resolver_amp_burst(&mut schedule, campus.hosts[0], *amp_qps, at(*start_frac), dur);
             }
+        }
+        AttackScenario::RotatingReflection { victim_index, qps, phases } => {
+            let v = campus.hosts[*victim_index];
+            victim = Some(campus.addr_of(v));
+            if let Some(&(_, f, _)) = phases.first() {
+                attack_start = Some(at(f));
+            }
+            let plan: Vec<(u16, SimTime, SimDuration)> = phases
+                .iter()
+                .map(|&(port, f, d)| (port, at(f), SimDuration::from_secs_f64(span * d)))
+                .collect();
+            gen.add_rotating_reflection(&mut schedule, v, *qps, &plan);
+        }
+        AttackScenario::AppRollout { class, sessions_per_sec, start_frac, duration_frac } => {
+            gen.add_app_rollout(
+                &mut schedule,
+                *class,
+                *sessions_per_sec,
+                at(*start_frac),
+                SimDuration::from_secs_f64(span * duration_frac),
+            );
         }
     }
     (schedule, victim, attack_start)
@@ -373,6 +488,56 @@ mod tests {
         // The scripted DNS app is out of the mix: every benign port-53
         // packet is a live client query for the resolver actor to answer.
         assert!(scenario.workload.mix.iter().all(|(c, _)| *c != AppClass::Dns));
+    }
+
+    #[test]
+    fn drift_rotation_schedule_hops_signatures_mid_run() {
+        let scenario = Scenario::drift_rotation();
+        let campus = Campus::build(scenario.campus.clone());
+        let (schedule, victim, attack_start) = build_schedule(&campus, &scenario);
+        assert_eq!(victim, Some(campus.addr_of(campus.hosts[0])));
+        assert!(attack_start.is_some());
+        // Reflected answers (the big packets the victim eats) come from
+        // port 53 in phase one and port 123 in phase two — two disjoint
+        // signatures separated in time.
+        let answers: Vec<_> = schedule
+            .iter()
+            .filter_map(|i| {
+                let port = i.packet.transport.src_port()?;
+                (i.packet.truth.attack.is_some() && (port == 53 || port == 123))
+                    .then_some((i.at, port))
+            })
+            .collect();
+        assert!(!answers.is_empty());
+        let last_53 = answers.iter().filter(|(_, p)| *p == 53).map(|(t, _)| *t).max().unwrap();
+        let first_123 = answers.iter().filter(|(_, p)| *p == 123).map(|(t, _)| *t).min().unwrap();
+        assert!(last_53 < first_123, "phases overlap: {last_53} vs {first_123}");
+    }
+
+    #[test]
+    fn app_rollout_adds_benign_sessions_only() {
+        let scenario = Scenario::drift_app_rollout();
+        let campus = Campus::build(scenario.campus.clone());
+        let (schedule, victim, attack_start) = build_schedule(&campus, &scenario);
+        assert!(victim.is_none());
+        assert!(attack_start.is_none());
+        assert!(schedule.iter().all(|i| i.packet.truth.attack.is_none()));
+        // The rollout visibly shifts the mix toward the new class in the
+        // back half of the run.
+        let span = scenario.workload.duration.as_nanos();
+        let video = |lo: u64, hi: u64| {
+            schedule
+                .iter()
+                .filter(|i| {
+                    i.packet.truth.app_class == AppClass::Video.id()
+                        && i.at.as_nanos() >= lo
+                        && i.at.as_nanos() < hi
+                })
+                .count()
+        };
+        let early = video(0, span / 2);
+        let late = video(span / 2, span);
+        assert!(late > 2 * early.max(1), "rollout invisible: early={early} late={late}");
     }
 
     #[test]

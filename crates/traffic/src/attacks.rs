@@ -107,6 +107,91 @@ fn initial_ttl(env: &mut SessionEnv<'_>) -> u8 {
     [64u8, 128, 255][env.rng.gen_range(0..3)]
 }
 
+/// One phase of a signature-rotating reflection campaign.
+#[derive(Debug, Clone)]
+pub struct ReflectionPhase {
+    /// Service port the reflectors answer *from* (53 DNS, 123 NTP,
+    /// 1900 SSDP, …) — the part of the flood's signature a static
+    /// filter keys on.
+    pub service_port: u16,
+    /// Reflector pool for this phase; hopping pools rotates the flood's
+    /// source prefixes along with its port signature.
+    pub reflectors: Vec<Endpoint>,
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+/// Parameters of a rotating reflection/amplification campaign: the
+/// attacker hops reflection vector (service port) and reflector pool
+/// mid-run, so a mitigation trained on one phase's signature goes stale
+/// the moment the next phase begins — the drift scenario DriftPilot's
+/// retrain loop exists to close.
+#[derive(Debug, Clone)]
+pub struct RotatingReflection {
+    /// The bot sending spoofed trigger packets (external).
+    pub attacker: Endpoint,
+    /// The campus host whose address is spoofed — and flooded.
+    pub victim: Endpoint,
+    /// The rotation schedule. Phases may leave gaps (quiet spells) and
+    /// are generated independently.
+    pub phases: Vec<ReflectionPhase>,
+    /// Spoofed triggers per second within each phase.
+    pub qps: f64,
+}
+
+/// Generate the rotating campaign. Every phase works like classic
+/// reflection — a small spoofed trigger to each reflector, a much larger
+/// answer to the victim from the phase's service port — but the port and
+/// the reflector prefixes change per phase.
+pub fn rotating_reflection(env: &mut SessionEnv<'_>, a: &RotatingReflection) {
+    for phase in &a.phases {
+        assert!(!phase.reflectors.is_empty(), "reflection phase needs reflectors");
+        let n = (a.qps * phase.duration.as_secs_f64()).round() as usize;
+        let gap = SimDuration::from_secs_f64(1.0 / a.qps.max(1e-9));
+        let app_class = match phase.service_port {
+            53 => AppClass::Dns.id(),
+            123 => AppClass::Ntp.id(),
+            _ => 0,
+        };
+        for i in 0..n {
+            let flow_id = env.alloc_flow();
+            let truth = GroundTruth {
+                flow_id,
+                app_class,
+                attack: Some(AttackKind::DnsAmplification.id()),
+            };
+            let t = phase.start + SimDuration::from_nanos(gap.as_nanos() * i as u64);
+            let reflector = phase.reflectors[i % phase.reflectors.len()];
+            let sport: u16 = env.rng.gen_range(32768..61000);
+            // Small spoofed trigger (monlist/ANY/SEARCH equivalents).
+            let trigger = env.builder.udp_v4(
+                a.victim.addr,
+                reflector.addr,
+                sport,
+                phase.service_port,
+                Payload::Synthetic(env.rng.gen_range(40..80)),
+                64,
+                truth,
+            );
+            env.schedule.push(t, a.attacker.node, trigger);
+            // Amplified answer back at the victim, sourced from the
+            // phase's service port with reflector-OS TTL diversity.
+            let ttl = initial_ttl(env) - env.rng.gen_range(6..20);
+            let answer = env.builder.udp_v4(
+                reflector.addr,
+                a.victim.addr,
+                phase.service_port,
+                sport,
+                Payload::Synthetic(env.rng.gen_range(900..1400)),
+                ttl,
+                truth,
+            );
+            env.schedule
+                .push(t + SimDuration::from_millis(4), reflector.node, answer);
+        }
+    }
+}
+
 /// Parameters of a random-subdomain NXDOMAIN "water torture" flood
 /// against the campus recursive resolver.
 #[derive(Debug, Clone)]
@@ -526,6 +611,61 @@ mod tests {
                 assert!(msg.is_amplification_prone());
             }
         }
+    }
+
+    #[test]
+    fn rotating_reflection_hops_port_and_prefix_signatures() {
+        let mut ctx = Ctx::new();
+        let campaign = RotatingReflection {
+            attacker: ep(0, [203, 0, 113, 66]),
+            victim: ep(1, [10, 1, 1, 10]),
+            phases: vec![
+                ReflectionPhase {
+                    service_port: 53,
+                    reflectors: vec![ep(2, [203, 0, 113, 1]), ep(3, [203, 0, 113, 2])],
+                    start: SimTime::ZERO,
+                    duration: SimDuration::from_secs(1),
+                },
+                ReflectionPhase {
+                    service_port: 123,
+                    reflectors: vec![ep(4, [198, 51, 100, 1]), ep(5, [198, 51, 100, 2])],
+                    start: SimTime::from_secs(2),
+                    duration: SimDuration::from_secs(1),
+                },
+            ],
+            qps: 100.0,
+        };
+        rotating_reflection(&mut ctx.env(), &campaign);
+        let s = &ctx.schedule;
+        assert_eq!(s.len(), 400); // 2 phases x (100 triggers + 100 answers)
+        let victim_ip = std::net::IpAddr::V4(Ipv4Addr::new(10, 1, 1, 10));
+        // Phase 1 answers come from port 53, phase 2 answers from 123 —
+        // the mid-run signature rotation a static filter cannot follow.
+        let answers: Vec<_> =
+            s.iter().filter(|i| i.packet.network.dst() == victim_ip).collect();
+        assert_eq!(answers.len(), 200);
+        for inj in &answers {
+            let sport = inj.packet.transport.src_port().unwrap();
+            let expected = if inj.at < SimTime::from_secs(2) { 53 } else { 123 };
+            assert_eq!(sport, expected, "wrong service port at {:?}", inj.at);
+            // Pools rotate prefixes with the port.
+            let first_octet = match inj.packet.network.src() {
+                std::net::IpAddr::V4(v4) => v4.octets()[0],
+                _ => unreachable!(),
+            };
+            assert_eq!(first_octet, if expected == 53 { 203 } else { 198 });
+        }
+        // Amplification holds: answers dwarf the spoofed trigger stream.
+        let to_victim: u64 = answers.iter().map(|i| i.packet.wire_len() as u64).sum();
+        let triggers: u64 = s
+            .iter()
+            .filter(|i| i.packet.network.src() == victim_ip)
+            .map(|i| i.packet.wire_len() as u64)
+            .sum();
+        assert!(to_victim > 8 * triggers, "amplification too low: {to_victim} vs {triggers}");
+        assert!(s
+            .iter()
+            .all(|i| i.packet.truth.attack == Some(AttackKind::DnsAmplification.id())));
     }
 
     #[test]

@@ -263,6 +263,74 @@ impl<'c> TrafficGenerator<'c> {
         attacks::dns_amplification(&mut env, &campaign);
     }
 
+    /// Layer a signature-rotating reflection campaign onto `schedule`:
+    /// one phase per `(service_port, start, duration)` entry, each phase
+    /// drawing a different reflector pool from the external population so
+    /// the flood's source prefixes rotate along with its port. This is
+    /// the adversarial-drift workload (experiment E17).
+    pub fn add_rotating_reflection(
+        &mut self,
+        schedule: &mut Schedule,
+        victim: NodeId,
+        qps: f64,
+        phases: &[(u16, SimTime, SimDuration)],
+    ) {
+        let attacker = self.endpoint(*self.campus.external.last().expect("external hosts"));
+        // The attacker node is reserved; reflector pools tile the rest.
+        let ext = &self.campus.external[..self.campus.external.len().saturating_sub(1)];
+        assert!(!ext.is_empty(), "rotating reflection needs non-attacker externals");
+        let pool = 4.min(ext.len());
+        let phases: Vec<attacks::ReflectionPhase> = phases
+            .iter()
+            .enumerate()
+            .map(|(k, &(service_port, start, duration))| attacks::ReflectionPhase {
+                service_port,
+                reflectors: (0..pool)
+                    .map(|j| self.endpoint(ext[(k * pool + j) % ext.len()]))
+                    .collect(),
+                start,
+                duration,
+            })
+            .collect();
+        let campaign = attacks::RotatingReflection {
+            attacker,
+            victim: self.endpoint(victim),
+            phases,
+            qps,
+        };
+        let mut env = SessionEnv {
+            builder: &mut self.builder,
+            rng: &mut self.rng,
+            schedule,
+            next_flow: &mut self.next_flow,
+        };
+        attacks::rotating_reflection(&mut env, &campaign);
+    }
+
+    /// Layer a new-application rollout onto `schedule`: from `start`,
+    /// extra sessions of `class` arrive at `sessions_per_sec` on top of
+    /// the base mix — the benign-drift workload (a campus-wide app
+    /// deployment shifting the feature distribution without any attack).
+    pub fn add_app_rollout(
+        &mut self,
+        schedule: &mut Schedule,
+        class: AppClass,
+        sessions_per_sec: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        let gap = Exponential::new(sessions_per_sec.max(1e-9));
+        let mut t = start;
+        loop {
+            t += SimDuration::from_secs_f64(gap.sample(&mut self.rng));
+            if t.since(start) > duration {
+                break;
+            }
+            self.emit_session(schedule, t, class);
+        }
+        schedule.sort();
+    }
+
     /// Layer a SYN flood at a campus server onto `schedule`.
     pub fn add_syn_flood(
         &mut self,
