@@ -1,0 +1,43 @@
+//! Plaza service throughput: wall-clock cost of admitting and running a
+//! fleet of identical probe tenants, at 1/4/16/64 tenants. The E18
+//! sweep pins the *bytes* of these runs; this bench pins the *price* —
+//! ci.sh reads `BENCH_plaza.json` and gates the per-tenant overhead of
+//! the 64-tenant fleet against the solo baseline (amortized cost per
+//! tenant must not balloon as the fleet grows).
+
+use campuslab::plaza::{Plaza, PlazaConfig, TenantSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn probes(n: usize) -> Vec<TenantSpec> {
+    (0..n).map(|i| TenantSpec::probe(format!("p{i}"))).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Machine-readable results for CI and the perf history; the
+    // BENCH_JSON environment variable still overrides the path.
+    c.json_path("BENCH_plaza.json");
+
+    for n in [1usize, 4, 16, 64] {
+        c.bench_function(&format!("plaza/run_tenants_{n}"), |b| {
+            b.iter_batched(
+                || probes(n),
+                |specs| {
+                    let mut plaza = Plaza::new(PlazaConfig::default());
+                    for spec in specs {
+                        plaza.submit(spec);
+                    }
+                    let report = plaza.run();
+                    black_box((report.outcomes.len(), report.rounds))
+                },
+                // One plaza run per routine call: the 64-tenant fleet
+                // takes seconds per iteration, so batching would blow
+                // the bench far past any CI budget.
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

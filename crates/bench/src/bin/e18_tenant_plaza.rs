@@ -1,0 +1,4 @@
+//! Regenerates the `e18_tenant_plaza` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e18_tenant_plaza::run());
+}

@@ -20,3 +20,4 @@ pub mod e14_chaos;
 pub mod e15_rollout_guard;
 pub mod e16_resolver;
 pub mod e17_driftpilot;
+pub mod e18_tenant_plaza;

@@ -62,3 +62,8 @@ fn e16_resolver_replays_byte_for_byte() {
 fn e17_driftpilot_replays_byte_for_byte() {
     replay("E17", include_str!("../golden/E17.golden"));
 }
+
+#[test]
+fn e18_tenant_plaza_replays_byte_for_byte() {
+    replay("E18", include_str!("../golden/E18.golden"));
+}

@@ -43,7 +43,7 @@ pub use driftpilot::{
     RetrainRecord, RetrainTrigger,
 };
 pub use fastloop::{DeployedFilter, FastLoopStats, ShadowMirror, ShadowWindow};
-pub use observe::{ControllerObs, DetectorObs, DriftObs, RolloutObs};
+pub use observe::{ControllerObs, DetectorObs, DriftObs, PlazaObs, RolloutObs};
 pub use rollout::{
     BreakerState, CircuitBreaker, CircuitBreakerPolicy, ProgramRegistry, RejectReason,
     RolloutConfig, RolloutEvent, RolloutEventKind, RolloutGuard, RolloutStage, SloPolicy,

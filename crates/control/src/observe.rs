@@ -248,6 +248,10 @@ pub const STAGE_MS_BOUNDS: [u64; 6] = [500, 1_000, 2_000, 5_000, 10_000, 30_000]
 #[derive(Debug, Clone)]
 pub struct RolloutObs {
     registry: Registry,
+    /// Instance prefix prepended to every rendered family name and span
+    /// label. Empty for a single-operator run; per-tenant guards get
+    /// `"<tenant>_"` so two live instances never collide in one dump.
+    prefix: String,
     /// Value store; bumped by the guard, read back through typed ids.
     pub sink: ObsSink,
     /// Per-stage spans (`rollout[stage name@fp]`), sim-time stamped.
@@ -281,8 +285,16 @@ impl Default for RolloutObs {
 }
 
 impl RolloutObs {
-    /// Build the rollout schema and a zeroed sink.
+    /// Build the rollout schema and a zeroed sink with no instance prefix.
     pub fn new() -> Self {
+        RolloutObs::with_prefix("")
+    }
+
+    /// Build the rollout schema with an instance prefix (e.g. a sanitized
+    /// tenant name plus `_`). The prefix lands on every rendered family
+    /// name and on span labels; `""` is byte-identical to [`RolloutObs::new`].
+    pub fn with_prefix(prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
         let mut reg = Registry::new();
         let submissions =
             reg.counter("rollout_submissions_total", "candidate programs submitted to the guard");
@@ -343,6 +355,7 @@ impl RolloutObs {
         let sink = reg.sink();
         RolloutObs {
             registry: reg,
+            prefix,
             sink,
             tracer: Tracer::new(),
             submissions,
@@ -380,7 +393,8 @@ impl RolloutObs {
     #[inline]
     pub(crate) fn on_stage_enter(&mut self, label: &str, code: i64, now_ns: u64) -> OpenSpan {
         self.sink.set(self.stage, code);
-        self.tracer.open(format!("rollout[{label}]"), now_ns)
+        let prefix = &self.prefix;
+        self.tracer.open(format!("{prefix}rollout[{label}]"), now_ns)
     }
 
     /// A stage was left; closes its span and records time-in-stage.
@@ -530,9 +544,14 @@ impl RolloutObs {
         self.sink.histogram(self.stage_ms)
     }
 
-    /// Render as Prometheus text.
+    /// The instance prefix ("" for single-operator runs).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Render as Prometheus text (family names carry the instance prefix).
     pub fn render(&self) -> String {
-        self.registry.render(&self.sink)
+        self.registry.render_prefixed(&self.sink, &self.prefix)
     }
 
     /// The schema, for rendering merged sinks.
@@ -550,6 +569,9 @@ pub const DRIFT_TTM_BOUNDS: [u64; 7] = [250, 500, 1_000, 2_000, 5_000, 10_000, 3
 #[derive(Debug, Clone)]
 pub struct DriftObs {
     registry: Registry,
+    /// Instance prefix prepended to every rendered family name and span
+    /// label; `"<tenant>_"` keeps per-tenant pilots disjoint in one dump.
+    prefix: String,
     /// Value store; bumped by the pilot, read back through typed ids.
     pub sink: ObsSink,
     /// Per-drift spans (`drift[#k]`, onset to SLOs green) and per-retrain
@@ -581,8 +603,15 @@ impl Default for DriftObs {
 }
 
 impl DriftObs {
-    /// Build the drift-pilot schema and a zeroed sink.
+    /// Build the drift-pilot schema and a zeroed sink with no prefix.
     pub fn new() -> Self {
+        DriftObs::with_prefix("")
+    }
+
+    /// Build the drift-pilot schema with an instance prefix; `""` is
+    /// byte-identical to [`DriftObs::new`].
+    pub fn with_prefix(prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
         let mut reg = Registry::new();
         let windows = reg.counter("dp_windows_total", "feature windows sealed and scored");
         let records =
@@ -628,6 +657,7 @@ impl DriftObs {
         let sink = reg.sink();
         DriftObs {
             registry: reg,
+            prefix,
             sink,
             tracer: Tracer::new(),
             windows,
@@ -716,7 +746,8 @@ impl DriftObs {
     #[inline]
     pub(crate) fn on_drift_onset(&mut self, ordinal: u64, now_ns: u64) -> OpenSpan {
         self.sink.inc(self.drift_onsets);
-        self.tracer.open(format!("drift[#{ordinal}]"), now_ns)
+        let prefix = &self.prefix;
+        self.tracer.open(format!("{prefix}drift[#{ordinal}]"), now_ns)
     }
 
     /// A drift episode closed green; records the end-to-end TTM.
@@ -806,6 +837,192 @@ impl DriftObs {
     /// The drift-onset → SLOs-green histogram (milliseconds).
     pub fn drift_ttm_histogram(&self) -> &Histogram {
         self.sink.histogram(self.drift_ttm_ms)
+    }
+
+    /// The instance prefix ("" for single-operator runs).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Render as Prometheus text (family names carry the instance prefix).
+    pub fn render(&self) -> String {
+        self.registry.render_prefixed(&self.sink, &self.prefix)
+    }
+
+    /// The schema, for rendering merged sinks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// Per-completed-slice sim-event-count histogram bounds.
+pub const SLICE_EVENT_BOUNDS: [u64; 6] = [1_000, 5_000, 20_000, 100_000, 500_000, 2_000_000];
+
+/// Metrics for one plaza (multi-tenant experimentation service): tenant
+/// admission accounting plus slice-execution telemetry. Instantiated once
+/// per service and once per tenant (scoped to that tenant's own grant),
+/// the same way `RolloutObs` is instantiated per guard.
+#[derive(Debug, Clone)]
+pub struct PlazaObs {
+    registry: Registry,
+    /// Value store; bumped by the plaza, read back through typed ids.
+    pub sink: ObsSink,
+    admitted: CounterId,
+    queued: CounterId,
+    rejected: CounterId,
+    released: CounterId,
+    rounds: CounterId,
+    slices: CounterId,
+    slots_used: GaugeId,
+    tcam_used: GaugeId,
+    tenants_active: GaugeId,
+    slice_events: HistogramId,
+}
+
+impl Default for PlazaObs {
+    fn default() -> Self {
+        PlazaObs::new()
+    }
+}
+
+impl PlazaObs {
+    /// Build the plaza schema and a zeroed sink.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let admitted =
+            reg.counter("plz_tenants_admitted_total", "tenants granted dataplane budget");
+        let queued = reg.counter(
+            "plz_tenants_queued_total",
+            "tenants parked in the FIFO admission queue on arrival",
+        );
+        let rejected = reg.counter(
+            "plz_tenants_rejected_total",
+            "tenants refused outright (demand can never fit the switch)",
+        );
+        let released =
+            reg.counter("plz_tenants_released_total", "completed tenants whose budget was freed");
+        let rounds = reg.counter("plz_rounds_total", "admission rounds the scheduler executed");
+        let slices = reg.counter("plz_slices_total", "tenant slices run to completion");
+        let slots_used =
+            reg.gauge("plz_stage_slots_used", "dataplane stage slots currently granted");
+        let tcam_used = reg.gauge("plz_tcam_entries_used", "TCAM entries currently granted");
+        let tenants_active = reg.gauge("plz_tenants_active", "tenants currently holding a grant");
+        let slice_events = reg.histogram(
+            "plz_slice_events",
+            "simulator events processed per completed tenant slice",
+            &SLICE_EVENT_BOUNDS,
+        );
+        let sink = reg.sink();
+        PlazaObs {
+            registry: reg,
+            sink,
+            admitted,
+            queued,
+            rejected,
+            released,
+            rounds,
+            slices,
+            slots_used,
+            tcam_used,
+            tenants_active,
+            slice_events,
+        }
+    }
+
+    /// A tenant was granted budget.
+    #[inline]
+    pub fn on_admitted(&mut self) {
+        self.sink.inc(self.admitted);
+    }
+
+    /// A tenant was parked in the admission queue.
+    #[inline]
+    pub fn on_queued(&mut self) {
+        self.sink.inc(self.queued);
+    }
+
+    /// A tenant was refused outright.
+    #[inline]
+    pub fn on_rejected(&mut self) {
+        self.sink.inc(self.rejected);
+    }
+
+    /// A completed tenant's budget was freed.
+    #[inline]
+    pub fn on_released(&mut self) {
+        self.sink.inc(self.released);
+    }
+
+    /// The scheduler started an admission round.
+    #[inline]
+    pub fn on_round(&mut self) {
+        self.sink.inc(self.rounds);
+    }
+
+    /// A tenant slice ran to completion, having processed `events`
+    /// simulator events.
+    #[inline]
+    pub fn on_slice(&mut self, events: u64) {
+        self.sink.inc(self.slices);
+        self.sink.observe(self.slice_events, events);
+    }
+
+    /// Snapshot the budget gauges.
+    #[inline]
+    pub fn set_budget(&mut self, slots_used: usize, tcam_used: usize, tenants_active: usize) {
+        self.sink.set(self.slots_used, slots_used as i64);
+        self.sink.set(self.tcam_used, tcam_used as i64);
+        self.sink.set(self.tenants_active, tenants_active as i64);
+    }
+
+    /// Tenants granted budget.
+    pub fn admitted(&self) -> u64 {
+        self.sink.counter(self.admitted)
+    }
+
+    /// Tenants parked in the queue on arrival.
+    pub fn queued(&self) -> u64 {
+        self.sink.counter(self.queued)
+    }
+
+    /// Tenants refused outright.
+    pub fn rejected(&self) -> u64 {
+        self.sink.counter(self.rejected)
+    }
+
+    /// Completed tenants whose budget was freed.
+    pub fn released(&self) -> u64 {
+        self.sink.counter(self.released)
+    }
+
+    /// Admission rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.sink.counter(self.rounds)
+    }
+
+    /// Tenant slices run to completion.
+    pub fn slices(&self) -> u64 {
+        self.sink.counter(self.slices)
+    }
+
+    /// Stage slots currently granted.
+    pub fn slots_used(&self) -> i64 {
+        self.sink.gauge(self.slots_used)
+    }
+
+    /// TCAM entries currently granted.
+    pub fn tcam_used(&self) -> i64 {
+        self.sink.gauge(self.tcam_used)
+    }
+
+    /// Tenants currently holding a grant.
+    pub fn tenants_active(&self) -> i64 {
+        self.sink.gauge(self.tenants_active)
+    }
+
+    /// The per-slice event-count histogram.
+    pub fn slice_events_histogram(&self) -> &Histogram {
+        self.sink.histogram(self.slice_events)
     }
 
     /// Render as Prometheus text.
@@ -902,6 +1119,85 @@ mod tests {
         assert!(text.contains("rollout_submissions_total 2"));
         assert!(text.contains("rollout_rollbacks_total 1"));
         assert!(text.contains("rollout_stage 1"));
+    }
+
+    #[test]
+    fn two_prefixed_instances_stay_disjoint_and_coherent() {
+        // The per-tenant fix: two live guard/pilot obs instances in one
+        // dump must not collide on family or span names, and each must
+        // keep exactly its own instance's counts.
+        let mut a = RolloutObs::with_prefix("alpha_");
+        let mut b = RolloutObs::with_prefix("bravo_");
+        a.on_submission(true);
+        a.on_veto();
+        b.on_submission(true);
+        b.on_submission(false);
+        b.on_commit(1);
+        let span = a.on_stage_enter("shadow v1@00000001", 1, 1_000_000_000);
+        a.on_stage_exit(span, 1_000_000_000, 2_000_000_000);
+        assert_eq!(a.submissions(), 1);
+        assert_eq!(b.submissions(), 2);
+        assert_eq!(a.vetoes(), 1);
+        assert_eq!(b.vetoes(), 0);
+        let (ra, rb) = (a.render(), b.render());
+        assert!(ra.contains("alpha_rollout_submissions_total 1"));
+        assert!(rb.contains("bravo_rollout_submissions_total 2"));
+        assert!(!ra.contains("bravo_"));
+        assert!(!rb.contains("alpha_"));
+        // Family sets are fully disjoint across the two instances: a
+        // combined dump never has one sample name fed by both guards.
+        let names = |dump: &str| -> std::collections::BTreeSet<String> {
+            dump.lines()
+                .filter(|l| !l.starts_with('#'))
+                .filter_map(|l| l.split(['{', ' ']).next().map(str::to_owned))
+                .collect()
+        };
+        let (na, nb) = (names(&ra), names(&rb));
+        assert!(na.is_disjoint(&nb), "sample names shared across instances");
+        assert_eq!(a.tracer.spans()[0].name, "alpha_rollout[shadow v1@00000001]");
+
+        let mut pa = DriftObs::with_prefix("alpha_");
+        let mut pb = DriftObs::with_prefix("bravo_");
+        pa.on_retrain(true);
+        pb.on_retrain(false);
+        let span = pa.on_drift_onset(1, 3_000_000_000);
+        pa.on_drift_mitigated(span, 3_000_000_000, 4_000_000_000);
+        assert_eq!(pa.retrains_drift(), 1);
+        assert_eq!(pb.retrains_periodic(), 1);
+        assert!(pa.render().contains("alpha_dp_retrains_total 1"));
+        assert!(pb.render().contains("bravo_dp_retrains_total 1"));
+        assert_eq!(pa.tracer.spans()[0].name, "alpha_drift[#1]");
+        // The empty prefix is byte-identical to the historical schema.
+        assert_eq!(RolloutObs::new().render(), RolloutObs::with_prefix("").render());
+        assert_eq!(DriftObs::new().render(), DriftObs::with_prefix("").render());
+    }
+
+    #[test]
+    fn plaza_admission_accounting_and_render() {
+        let mut obs = PlazaObs::new();
+        obs.on_admitted();
+        obs.on_admitted();
+        obs.on_queued();
+        obs.on_rejected();
+        obs.on_round();
+        obs.on_slice(12_000);
+        obs.on_slice(800);
+        obs.on_released();
+        obs.set_budget(10, 4_096, 2);
+        assert_eq!(obs.admitted(), 2);
+        assert_eq!(obs.queued(), 1);
+        assert_eq!(obs.rejected(), 1);
+        assert_eq!(obs.released(), 1);
+        assert_eq!(obs.rounds(), 1);
+        assert_eq!(obs.slices(), 2);
+        assert_eq!(obs.slots_used(), 10);
+        assert_eq!(obs.tcam_used(), 4_096);
+        assert_eq!(obs.tenants_active(), 2);
+        assert_eq!(obs.slice_events_histogram().count(), 2);
+        let text = obs.render();
+        assert!(text.contains("plz_tenants_admitted_total 2"));
+        assert!(text.contains("plz_slice_events_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("plz_stage_slots_used 10"));
     }
 
     #[test]

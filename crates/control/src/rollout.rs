@@ -483,6 +483,17 @@ impl RolloutGuard {
         std::mem::take(&mut self.obs)
     }
 
+    /// Re-home the guard's telemetry under a metric-name prefix (the
+    /// plaza gives each tenant's guard `"<tenant>_"` so co-scheduled
+    /// guards never collide in a merged dump). Call before the
+    /// simulation runs: the fresh sink re-seeds only the registry gauge,
+    /// so any samples already recorded would be lost.
+    pub fn set_obs_prefix(&mut self, prefix: impl Into<String>) {
+        let mut obs = RolloutObs::with_prefix(prefix);
+        obs.set_registry_versions(self.registry.len());
+        self.obs = obs;
+    }
+
     fn enter_stage(&mut self, now: SimTime, stage: RolloutStage) {
         if let Some(span) = self.stage_span.take() {
             self.obs.on_stage_exit(span, self.stage_entered.as_nanos(), now.as_nanos());

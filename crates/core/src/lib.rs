@@ -25,6 +25,7 @@
 //! | [`control`] | Figure 2's fast control loop and slow development loop |
 //! | [`resolver`] | ResolverLab: a fault-tolerant caching DNS resolver service |
 //! | [`testbed`] | scenarios, road tests, cross-campus protocol, trust reports |
+//! | [`plaza`] | TenantPlaza: multi-tenant experimentation-as-a-service |
 //!
 //! ## The platform in one pass
 //!
@@ -53,6 +54,7 @@ pub use campuslab_features as features;
 pub use campuslab_ml as ml;
 pub use campuslab_netsim as netsim;
 pub use campuslab_obs as obs;
+pub use campuslab_plaza as plaza;
 pub use campuslab_privacy as privacy;
 pub use campuslab_resolver as resolver;
 pub use campuslab_testbed as testbed;

@@ -15,6 +15,8 @@
 //!   confidence gate ("drop ... if confidence ... is at least 90%").
 //! * [`resources`] — stages/TCAM/table-slot envelope; answers "how many
 //!   concurrent automation tasks fit?" (experiment E6).
+//! * [`admission`] — FIFO tenant admission over that envelope; the
+//!   plaza's arbiter for multi-tenant experimentation (experiment E18).
 
 //!
 //! ```
@@ -33,7 +35,9 @@ pub mod ternary;
 pub mod program;
 pub mod compiler;
 pub mod resources;
+pub mod admission;
 
+pub use admission::{AdmissionController, AdmissionDecision, TenantDemand};
 pub use compiler::{compile_tree, CompileConfig, CompileReport};
 pub use fields::{fields_from_record, FieldExtractor, FieldValues, HeaderField, FIELD_ORDER};
 pub use program::{Action, PipelineProgram, PipelineRuntime, ProgramVersion, TableEntry};

@@ -1,0 +1,117 @@
+//! Property suite over the plaza's admission arbiter: on random
+//! submit/release sequences the controller must never over-commit the
+//! switch, must drain its queue in strict FIFO order, must answer every
+//! submission with a typed decision, and must never panic. A shadow model
+//! (plain Vecs) tracks what *should* be admitted and queued; any
+//! divergence is a bug in the controller, not the model.
+
+use campuslab_dataplane::{AdmissionController, AdmissionDecision, SwitchModel, TenantDemand};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The big one: random interleavings of submissions (random sizes,
+    /// including infeasible monsters) and releases (random victims).
+    /// After EVERY op: granted slots/TCAM within the envelope, queue
+    /// length agreed with the shadow model, drains strictly FIFO.
+    #[test]
+    fn admission_invariants_hold_over_random_op_sequences(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..40_000, any::<u8>()), 1..80),
+    ) {
+        let sw = SwitchModel::default();
+        let mut ac = AdmissionController::new(sw);
+        let mut next_id = 0usize;
+        // Shadow model: who waits (FIFO) and who holds a grant.
+        let mut fifo: Vec<String> = Vec::new();
+        let mut live: Vec<String> = Vec::new();
+        for (is_submit, entries, pick) in ops {
+            if is_submit {
+                let name = format!("t{next_id}");
+                next_id += 1;
+                let d = TenantDemand::for_entries(name.clone(), entries, &sw);
+                let infeasible =
+                    d.tcam_entries > sw.total_tcam() || d.stage_slots > sw.total_slots();
+                match ac.submit(d) {
+                    AdmissionDecision::Admitted { slots_used, tcam_used } => {
+                        prop_assert!(!infeasible, "admitted an infeasible demand");
+                        prop_assert!(fifo.is_empty(), "overtook a waiting queue");
+                        prop_assert_eq!(slots_used, ac.slots_used());
+                        prop_assert_eq!(tcam_used, ac.tcam_used());
+                        live.push(name);
+                    }
+                    AdmissionDecision::Queued { position } => {
+                        prop_assert!(!infeasible, "queued an infeasible demand");
+                        prop_assert_eq!(position, fifo.len());
+                        fifo.push(name);
+                    }
+                    AdmissionDecision::Rejected(_) => {
+                        prop_assert!(infeasible, "rejected a feasible demand");
+                    }
+                }
+            } else if live.is_empty() {
+                // Corollary invariant: with nothing admitted, a feasible
+                // queue head always fits an empty pool, so prior drains
+                // must already have emptied the queue.
+                prop_assert!(fifo.is_empty(), "queue waits behind an empty pool");
+            } else {
+                let name = live.remove((pick as usize) % live.len());
+                for drained in ac.release(&name) {
+                    // Strict FIFO: every drained tenant is exactly the
+                    // shadow queue's front, never someone behind it.
+                    prop_assert!(!fifo.is_empty(), "drained more than was queued");
+                    prop_assert_eq!(&drained.tenant, &fifo.remove(0));
+                    live.push(drained.tenant);
+                }
+            }
+            // The envelope, after every single op.
+            prop_assert!(ac.slots_used() <= sw.total_slots(), "slots over-committed");
+            prop_assert!(ac.tcam_used() <= sw.total_tcam(), "TCAM over-committed");
+            prop_assert_eq!(ac.queue_len(), fifo.len());
+            prop_assert_eq!(ac.admitted().len(), live.len());
+        }
+    }
+
+    /// Admission is a pure function of the submission sequence: replaying
+    /// the identical sequence yields the identical decision list, byte
+    /// for byte (the determinism half of the FIFO contract).
+    #[test]
+    fn decisions_are_a_pure_function_of_the_submission_sequence(
+        sizes in proptest::collection::vec(0usize..40_000, 1..40),
+    ) {
+        let sw = SwitchModel::default();
+        let run = || {
+            let mut ac = AdmissionController::new(sw);
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| ac.submit(TenantDemand::for_entries(format!("t{i}"), n, &sw)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Releasing unknown or already-released names never panics, never
+    /// drains anything it should not, and never disturbs the envelope.
+    #[test]
+    fn unknown_releases_are_harmless(
+        sizes in proptest::collection::vec(1usize..30_000, 1..20),
+        ghosts in proptest::collection::vec(any::<u16>(), 1..20),
+    ) {
+        let sw = SwitchModel::default();
+        let mut ac = AdmissionController::new(sw);
+        for (i, &n) in sizes.iter().enumerate() {
+            let _ = ac.submit(TenantDemand::for_entries(format!("t{i}"), n, &sw));
+        }
+        let (slots, tcam, queued) = (ac.slots_used(), ac.tcam_used(), ac.queue_len());
+        for g in ghosts {
+            // Ghost names: never submitted, so every release is a no-op
+            // (the queue head, if any, still does not fit).
+            let newly = ac.release(&format!("ghost{g}"));
+            prop_assert!(newly.is_empty(), "a ghost release drained the queue");
+        }
+        prop_assert_eq!(ac.slots_used(), slots);
+        prop_assert_eq!(ac.tcam_used(), tcam);
+        prop_assert_eq!(ac.queue_len(), queued);
+    }
+}

@@ -227,6 +227,15 @@ impl Registry {
     /// in registration order: byte-deterministic for a given schema and
     /// value set.
     pub fn render(&self, sink: &ObsSink) -> String {
+        self.render_prefixed(sink, "")
+    }
+
+    /// Like [`Registry::render`], but with `prefix` prepended to every
+    /// family name. Instance-scoped subsystems (one registry schema, many
+    /// live instances — e.g. per-tenant rollout guards) use this to keep
+    /// their families disjoint in a combined dump; the empty prefix is
+    /// byte-identical to `render`.
+    pub fn render_prefixed(&self, sink: &ObsSink, prefix: &str) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let mut last_family: Option<&str> = None;
@@ -237,8 +246,8 @@ impl Registry {
                     Kind::Gauge => "gauge",
                     Kind::Histogram => "histogram",
                 };
-                let _ = writeln!(out, "# HELP {} {}", d.name, d.help);
-                let _ = writeln!(out, "# TYPE {} {}", d.name, ty);
+                let _ = writeln!(out, "# HELP {prefix}{} {}", d.name, d.help);
+                let _ = writeln!(out, "# TYPE {prefix}{} {}", d.name, ty);
                 last_family = Some(d.name);
             }
             match d.kind {
@@ -246,30 +255,30 @@ impl Registry {
                     let v = sink.counters[d.slot as usize];
                     match d.label {
                         Some(l) => {
-                            let _ = writeln!(out, "{}{{{}}} {}", d.name, l, v);
+                            let _ = writeln!(out, "{prefix}{}{{{}}} {}", d.name, l, v);
                         }
                         None => {
-                            let _ = writeln!(out, "{} {}", d.name, v);
+                            let _ = writeln!(out, "{prefix}{} {}", d.name, v);
                         }
                     }
                 }
                 Kind::Gauge => {
-                    let _ = writeln!(out, "{} {}", d.name, sink.gauges[d.slot as usize]);
+                    let _ = writeln!(out, "{prefix}{} {}", d.name, sink.gauges[d.slot as usize]);
                 }
                 Kind::Histogram => {
                     let h = &sink.hists[d.slot as usize];
                     let cum = h.cumulative();
                     for (b, c) in h.bounds.iter().zip(cum.iter()) {
-                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", d.name, b, c);
+                        let _ = writeln!(out, "{prefix}{}_bucket{{le=\"{}\"}} {}", d.name, b, c);
                     }
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"+Inf\"}} {}",
+                        "{prefix}{}_bucket{{le=\"+Inf\"}} {}",
                         d.name,
                         cum.last().copied().unwrap_or(0)
                     );
-                    let _ = writeln!(out, "{}_sum {}", d.name, h.sum);
-                    let _ = writeln!(out, "{}_count {}", d.name, h.count);
+                    let _ = writeln!(out, "{prefix}{}_sum {}", d.name, h.sum);
+                    let _ = writeln!(out, "{prefix}{}_count {}", d.name, h.count);
                 }
             }
         }
@@ -411,6 +420,22 @@ lat_us_count 3
 ";
         assert_eq!(text, expect);
         assert_eq!(text, reg.render(&s), "render must be stable");
+    }
+
+    #[test]
+    fn prefixed_render_renames_every_family_and_empty_prefix_is_identity() {
+        let (reg, a, _, g, h) = demo();
+        let mut s = reg.sink();
+        s.inc(a);
+        s.set(g, 4);
+        s.observe(h, 42);
+        assert_eq!(reg.render_prefixed(&s, ""), reg.render(&s));
+        let prefixed = reg.render_prefixed(&s, "t3_");
+        for line in prefixed.lines() {
+            let body = line.strip_prefix("# HELP ").or_else(|| line.strip_prefix("# TYPE ")).unwrap_or(line);
+            assert!(body.starts_with("t3_"), "unprefixed line in output: {line}");
+        }
+        assert_eq!(prefixed.replace("t3_", ""), reg.render(&s));
     }
 
     #[test]

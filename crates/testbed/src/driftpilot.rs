@@ -40,6 +40,11 @@ pub struct DriftRunConfig {
     /// Pilot knobs. `tap` and `deployed_fingerprint` are overwritten by
     /// the runner (border link, known-good program's fingerprint).
     pub pilot: DriftPilotConfig,
+    /// Settling margin past the workload's end before the run's hard
+    /// deadline. The default (4 s) gives in-flight candidates time to
+    /// finish the ladder; `SimDuration::ZERO` cuts the run at the last
+    /// workload packet — the early-termination edge a plaza slice hits.
+    pub settle: SimDuration,
 }
 
 impl Default for DriftRunConfig {
@@ -56,6 +61,7 @@ impl Default for DriftRunConfig {
             slo: SloPolicy { promote_after: 1, ..SloPolicy::default() },
             canary_fraction: 0.25,
             pilot,
+            settle: SimDuration::from_secs(4),
         }
     }
 }
@@ -283,10 +289,9 @@ pub fn drift_road_test(
     // An always-on pipeline has no natural drain point: a candidate
     // submitted just before traffic ends would leave the guard evaluating
     // inconclusive empty windows forever. Cap the run at the workload
-    // span plus a fixed settling margin — a deterministic sim-time bound,
-    // identical under every executor.
-    let deadline =
-        SimTime::ZERO + scenario.workload.duration + SimDuration::from_secs(4);
+    // span plus the configured settling margin — a deterministic sim-time
+    // bound, identical under every executor.
+    let deadline = SimTime::ZERO + scenario.workload.duration + cfg.settle;
     net.run(&mut hooks, Some(deadline));
 
     let mut tracer = Tracer::new();
@@ -320,6 +325,7 @@ pub fn drift_road_test(
             rollout: Some(rollout_obs),
             resolver: None,
             drift: Some(drift_obs),
+            plaza: None,
         },
     }
 }
@@ -399,6 +405,39 @@ mod tests {
             outcome.filter.dropped_benign,
             total
         );
+    }
+
+    #[test]
+    fn zero_settle_cuts_the_run_at_workload_end_without_breaking_anything() {
+        let (known_good, model) = trained();
+        let scenario = Scenario::drift_rotation();
+        let outcome = drift_road_test(
+            &scenario,
+            known_good,
+            Box::new(model),
+            DriftRunConfig { settle: SimDuration::ZERO, ..DriftRunConfig::default() },
+        );
+        // The hard deadline with no settling margin: nothing — retrains,
+        // guard decisions, episode onsets — may be stamped after it.
+        let deadline = SimTime::ZERO + scenario.workload.duration;
+        assert!(outcome.retrains.iter().all(|r| r.at <= deadline));
+        assert!(outcome.events.iter().all(|e| e.at <= deadline));
+        assert!(outcome.episodes.iter().all(|ep| ep.onset <= deadline));
+        // The pilot still lived through the workload itself...
+        let dobs = outcome.obs.drift.as_ref().expect("drift obs");
+        assert!(dobs.windows() >= 1, "no windows sealed before the deadline");
+        assert!(dobs.retrains() >= 1, "timeline:\n{}", outcome.timeline());
+        // ...and an episode the deadline caught mid-flight is simply left
+        // open (typed as unmitigated), never a panic or a phantom close.
+        for ep in &outcome.episodes {
+            if let Some(m) = ep.mitigated {
+                assert!(m <= deadline);
+            }
+        }
+        // The truncated bundle still renders coherently.
+        let prom = outcome.obs.prom();
+        assert!(prom.contains("dp_windows_total"));
+        assert!(prom.contains("rollout_submissions_total"));
     }
 
     #[test]

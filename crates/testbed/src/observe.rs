@@ -3,7 +3,9 @@
 //! parallel executions render byte-identical dumps.
 
 use campuslab_capture::CaptureObs;
-use campuslab_control::{ControllerObs, DetectorObs, DriftObs, FastLoopStatsSnapshot, RolloutObs};
+use campuslab_control::{
+    ControllerObs, DetectorObs, DriftObs, FastLoopStatsSnapshot, PlazaObs, RolloutObs,
+};
 use campuslab_netsim::NetObs;
 use campuslab_obs::{Registry, Tracer};
 use campuslab_resolver::RsvObs;
@@ -35,6 +37,9 @@ pub struct RunObs {
     pub resolver: Option<RsvObs>,
     /// DriftPilot telemetry (drift road tests only, experiment E17).
     pub drift: Option<DriftObs>,
+    /// Plaza telemetry, scoped to this run's tenant (multi-tenant plaza
+    /// runs only, experiment E18).
+    pub plaza: Option<PlazaObs>,
 }
 
 impl RunObs {
@@ -50,13 +55,14 @@ impl RunObs {
             rollout: None,
             resolver: None,
             drift: None,
+            plaza: None,
         }
     }
 
     /// Render every participating layer as one Prometheus text dump.
     ///
     /// Section order is fixed (net, capture, filter, detector, controller,
-    /// rollout, resolver, drift) and each section renders its registry in
+    /// rollout, resolver, drift, plaza) and each section renders its registry in
     /// registration order, so the whole dump is byte-deterministic for a
     /// given run. New sections append at the end, so dumps from runs that
     /// lack them are byte-for-byte what they always were — the
@@ -83,6 +89,9 @@ impl RunObs {
         }
         if let Some(d) = &self.drift {
             out.push_str(&d.render());
+        }
+        if let Some(p) = &self.plaza {
+            out.push_str(&p.render());
         }
         out
     }
@@ -145,6 +154,7 @@ mod tests {
             controller: Some(ControllerObs::new()),
             resolver: Some(RsvObs::new()),
             drift: Some(DriftObs::new()),
+            plaza: Some(PlazaObs::new()),
             ..RunObs::net_only(NetObs::new())
         };
         let text = bundle.prom();
@@ -153,9 +163,10 @@ mod tests {
         assert!(pos("cap_observed_packets_total") < pos("det_observed_records_total"));
         assert!(pos("det_observed_records_total") < pos("ctl_episodes_total"));
         assert!(pos("ctl_episodes_total") < pos("rsv_queries_total"));
-        // The drift section is the last addition, so dumps from runs
-        // without a pilot are unchanged byte for byte.
         assert!(pos("rsv_queries_total") < pos("dp_windows_total"));
+        // The plaza section is the last addition, so dumps from runs
+        // without a tenant grant are unchanged byte for byte.
+        assert!(pos("dp_windows_total") < pos("plz_tenants_admitted_total"));
     }
 
     /// Golden-shape schema test: the bundle's section order is a frozen,
@@ -166,7 +177,7 @@ mod tests {
     /// appending to the END of this list.
     #[test]
     fn bundle_schema_is_append_only() {
-        const SCHEMA: [(&str, &str); 8] = [
+        const SCHEMA: [(&str, &str); 9] = [
             ("net", "sim_events_total"),
             ("capture", "cap_observed_packets_total"),
             ("filter", "flt_packets_total"),
@@ -175,6 +186,7 @@ mod tests {
             ("rollout", "rollout_submissions_total"),
             ("resolver", "rsv_queries_total"),
             ("drift", "dp_windows_total"),
+            ("plaza", "plz_tenants_admitted_total"),
         ];
         let bundle = RunObs {
             capture: Some(CaptureObs::new()),
@@ -184,6 +196,7 @@ mod tests {
             rollout: Some(RolloutObs::new()),
             resolver: Some(RsvObs::new()),
             drift: Some(DriftObs::new()),
+            plaza: Some(PlazaObs::new()),
             ..RunObs::net_only(NetObs::new())
         };
         let text = bundle.prom();

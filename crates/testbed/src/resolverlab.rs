@@ -229,6 +229,7 @@ pub fn resolver_run(scenario: &Scenario, cfg: ResolverRunConfig) -> ResolverRunO
             rollout: Some(rollout_obs),
             resolver: Some(service.obs().clone()),
             drift: None,
+            plaza: None,
         },
     }
 }

@@ -193,6 +193,7 @@ pub fn road_test(
             rollout: None,
             resolver: None,
             drift: None,
+            plaza: None,
         },
     }
 }

@@ -30,6 +30,11 @@ pub struct GuardedRunConfig {
     pub canary_fraction: f64,
     /// Candidates submitted to the guard at scheduled sim times.
     pub submissions: Vec<(SimTime, PipelineProgram)>,
+    /// Hard stop for the simulation. `None` (the default) runs until the
+    /// event queue drains; a plaza slice or an operator-imposed budget
+    /// caps the run, possibly mid-ladder — the guard simply freezes in
+    /// whatever stage the deadline caught it.
+    pub deadline: Option<SimTime>,
 }
 
 impl Default for GuardedRunConfig {
@@ -39,6 +44,7 @@ impl Default for GuardedRunConfig {
             slo: SloPolicy::default(),
             canary_fraction: 0.25,
             submissions: Vec::new(),
+            deadline: None,
         }
     }
 }
@@ -205,7 +211,7 @@ pub fn guarded_road_test(
     );
 
     let mut hooks = GuardedHooks::new(guard, controller);
-    net.run(&mut hooks, None);
+    net.run(&mut hooks, cfg.deadline);
 
     let mut tracer = Tracer::new();
     let end_ns = net.now().as_nanos();
@@ -245,6 +251,7 @@ pub fn guarded_road_test(
             rollout: Some(rollout_obs),
             resolver: None,
             drift: None,
+            plaza: None,
         },
     }
 }
@@ -324,6 +331,73 @@ mod tests {
         let robs = outcome.obs.rollout.as_ref().expect("rollout obs");
         assert_eq!(robs.vetoes(), 1);
         assert!(outcome.obs.prom().contains("rollout_vetoes_total 1"));
+    }
+
+    /// Matches nothing on the live campus (dst port 9, the discard
+    /// protocol): zero FP, zero benign drops — a candidate that promotes
+    /// cleanly through the ladder.
+    fn drop_discard_port() -> PipelineProgram {
+        let mut matches = [TernaryMatch::ANY; FIELD_ORDER.len()];
+        matches[2] = TernaryMatch::exact(9, 16); // FIELD_ORDER[2] = DstPort
+        PipelineProgram::new(
+            "noop-discard-port",
+            vec![TableEntry { matches, action: Action::Drop, priority: 9, confidence: 0.99 }],
+        )
+    }
+
+    #[test]
+    fn deadline_mid_canary_freezes_the_ladder() {
+        let (known_good, model) = trained();
+        let cfg = || GuardedRunConfig {
+            submissions: vec![(SimTime::from_secs(1), drop_discard_port())],
+            ..GuardedRunConfig::default()
+        };
+        // Uncapped reference run: the clean candidate walks the full
+        // ladder; note when it entered canary and when it left.
+        let full = guarded_road_test(&Scenario::small(), known_good.clone(), Box::new(model.clone()), cfg());
+        let canary_at = full
+            .events
+            .iter()
+            .find(|e| e.kind == RolloutEventKind::EnteredCanary)
+            .map(|e| e.at)
+            .unwrap_or_else(|| panic!("no canary entry; timeline:\n{}", full.timeline()));
+        let left_at = full
+            .events
+            .iter()
+            .find(|e| e.kind == RolloutEventKind::EnteredFull)
+            .map(|e| e.at)
+            .unwrap_or_else(|| panic!("no full entry; timeline:\n{}", full.timeline()));
+        assert!(left_at > canary_at, "canary must span a nonzero interval");
+        // Capped run: stop the sim strictly inside the canary interval.
+        let deadline = SimTime(canary_at.as_nanos() + (left_at.as_nanos() - canary_at.as_nanos()) / 2);
+        let capped = guarded_road_test(
+            &Scenario::small(),
+            known_good,
+            Box::new(model),
+            GuardedRunConfig { deadline: Some(deadline), ..cfg() },
+        );
+        assert_eq!(
+            capped.final_stage,
+            RolloutStage::Canary,
+            "deadline mid-canary must freeze the guard in canary; timeline:\n{}",
+            capped.timeline()
+        );
+        assert!(
+            !capped.events.iter().any(|e| matches!(
+                e.kind,
+                RolloutEventKind::EnteredFull | RolloutEventKind::Committed
+            )),
+            "nothing past canary may have happened"
+        );
+        assert_eq!(capped.registry_len, 1, "no commit under the deadline");
+        assert!(
+            capped.events.iter().all(|e| e.at <= deadline),
+            "no guard decision may be stamped past the deadline"
+        );
+        // The frozen bundle still renders a coherent rollout section.
+        let robs = capped.obs.rollout.as_ref().expect("rollout obs");
+        assert_eq!(robs.stage(), 2, "stage gauge frozen at canary");
+        assert!(capped.obs.prom().contains("rollout_stage 2"));
     }
 
     #[test]

@@ -157,6 +157,36 @@ impl Scenario {
         }
     }
 
+    /// The smallest useful road test: a two-switch campus, three seconds
+    /// of light mixed traffic, and a modest amplification campaign at
+    /// host 0. This is the per-tenant workload of the plaza sweeps
+    /// (experiment E18) and the tenant-isolation property suite, where
+    /// dozens of tenant slices run per case — each slice must stay cheap
+    /// while still exercising detection, mitigation and suppression.
+    pub fn tenant_probe() -> Self {
+        Scenario {
+            campus: CampusConfig {
+                dist_count: 1,
+                access_per_dist: 2,
+                hosts_per_access: 2,
+                external_hosts: 6,
+                ..CampusConfig::default()
+            },
+            workload: WorkloadConfig {
+                duration: SimDuration::from_secs(3),
+                sessions_per_sec: 6.0,
+                ..WorkloadConfig::default()
+            },
+            attack: AttackScenario::DnsAmplification {
+                victim_index: 0,
+                qps: 150.0,
+                start_frac: 0.2,
+                duration_frac: 0.6,
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+
     /// Benign diurnal drift: the whole day/night load curve compressed
     /// into one short run (`day_length == duration`), no attack at all.
     /// The pilot's drift score must ride out the load swing without
