@@ -1,0 +1,4 @@
+//! Regenerates the `e19_phoenix` experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", campuslab_bench::e19_phoenix::run());
+}

@@ -10,7 +10,7 @@
 //! cargo run --release -p campuslab-bench --bin gen_golden
 //! ```
 
-const GOLDEN_IDS: [&str; 8] = ["E1", "E3", "E7", "E14", "E15", "E16", "E17", "E18"];
+const GOLDEN_IDS: [&str; 9] = ["E1", "E3", "E7", "E14", "E15", "E16", "E17", "E18", "E19"];
 
 fn main() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");

@@ -21,3 +21,4 @@ pub mod e15_rollout_guard;
 pub mod e16_resolver;
 pub mod e17_driftpilot;
 pub mod e18_tenant_plaza;
+pub mod e19_phoenix;

@@ -13,7 +13,7 @@ pub mod runner;
 
 pub use experiments::{
     e10_mitigation_styles, e11_resilience, e12_multiclass, e13_perf_pinpoint, e14_chaos,
-    e15_rollout_guard, e16_resolver, e17_driftpilot, e18_tenant_plaza, e1_ddos_gate, e2_lossless_capture, e3_datastore_query,
+    e15_rollout_guard, e16_resolver, e17_driftpilot, e18_tenant_plaza, e19_phoenix, e1_ddos_gate, e2_lossless_capture, e3_datastore_query,
     e4_privacy_utility, e5_distillation, e6_dataplane_compile, e7_cross_campus, e8_placement,
     e9_trust_report, fig1_dual_role, fig2_loops,
 };
@@ -36,6 +36,7 @@ pub fn observed(id: &str) -> Option<fn() -> ObsBundle> {
         "E16" => Some(e16_resolver::run_observed),
         "E17" => Some(e17_driftpilot::run_observed),
         "E18" => Some(e18_tenant_plaza::run_observed),
+        "E19" => Some(e19_phoenix::run_observed),
         _ => None,
     }
 }
@@ -63,6 +64,7 @@ pub fn all() -> Vec<Experiment> {
         ("E16", "Resolver under water torture: degrade, defend, recover", e16_resolver::run),
         ("E17", "Always-on pipeline under drift: DriftPilot", e17_driftpilot::run),
         ("E18", "Multi-tenant experimentation-as-a-service: TenantPlaza", e18_tenant_plaza::run),
+        ("E19", "PhoenixRun: crash-fault tolerance (checkpoint/restore + WAL)", e19_phoenix::run),
     ]
 }
 
@@ -71,8 +73,8 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let ids: std::collections::HashSet<&str> = all.iter().map(|(id, _, _)| *id).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 }

@@ -67,3 +67,8 @@ fn e17_driftpilot_replays_byte_for_byte() {
 fn e18_tenant_plaza_replays_byte_for_byte() {
     replay("E18", include_str!("../golden/E18.golden"));
 }
+
+#[test]
+fn e19_phoenix_replays_byte_for_byte() {
+    replay("E19", include_str!("../golden/E19.golden"));
+}

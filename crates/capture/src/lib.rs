@@ -60,4 +60,4 @@ pub use records::{
 };
 pub use ring::{CaptureArray, CaptureRing, RingConfig, RingStats};
 pub use sensors::{merge_sorted, SensorHub};
-pub use sketch::{CountMinSketch, HeavyHitters};
+pub use sketch::{CountMinSketch, FrozenHeavyHitters, HeavyHitters};

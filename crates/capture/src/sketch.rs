@@ -8,7 +8,7 @@ use std::hash::{Hash, Hasher};
 use std::net::IpAddr;
 
 /// A count-min sketch over arbitrary hashable keys.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CountMinSketch {
     width: usize,
     depth: usize,
@@ -106,6 +106,31 @@ impl HeavyHitters {
     pub fn total(&self) -> u64 {
         self.sketch.total
     }
+
+    /// Freeze the tracker for a checkpoint: the candidate map flattens to
+    /// its deterministic heaviest-first order.
+    pub fn freeze(&self) -> FrozenHeavyHitters {
+        FrozenHeavyHitters { sketch: self.sketch.clone(), k: self.k, top: self.top() }
+    }
+
+    /// Rebuild a tracker from a frozen image.
+    pub fn thaw(frozen: FrozenHeavyHitters) -> Self {
+        HeavyHitters {
+            sketch: frozen.sketch,
+            k: frozen.k,
+            top: frozen.top.into_iter().collect(),
+        }
+    }
+}
+
+/// A [`HeavyHitters`]'s checkpointable image.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FrozenHeavyHitters {
+    pub sketch: CountMinSketch,
+    pub k: usize,
+    /// Candidates, heaviest first (ties by address) — the same order
+    /// [`HeavyHitters::top`] reports.
+    pub top: Vec<(IpAddr, u64)>,
 }
 
 #[cfg(test)]

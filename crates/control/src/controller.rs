@@ -5,11 +5,11 @@
 //! the switch, the controller, or "the cloud" differ only in when the
 //! rule lands.
 
-use crate::detector::{Detection, StreamingWindowDetector};
+use crate::detector::{Detection, FrozenDetector, StreamingWindowDetector};
 use crate::fastloop::FastLoopStats;
 use crate::observe::{ControllerObs, DetectorObs};
 use crate::rollout::{CircuitBreaker, CircuitBreakerPolicy};
-use campuslab_obs::OpenSpan;
+use campuslab_obs::{ObsSink, OpenSpan, Tracer};
 use campuslab_capture::{Direction, PacketRecord};
 use campuslab_dataplane::{Action, FieldExtractor, PipelineProgram, PipelineRuntime};
 use campuslab_netsim::{
@@ -43,7 +43,7 @@ impl Placement {
 }
 
 /// Which traffic a bank entry applies to.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ProgramScope {
     /// Every packet through the bank.
     Global,
@@ -139,6 +139,37 @@ impl BankHandle {
         self.len() == 0
     }
 
+    /// Freeze the bank's installed programs + aggregate stats for a
+    /// checkpoint. The field extractor is construction-time config and is
+    /// rebuilt by whoever re-creates the bank.
+    pub fn freeze(&self) -> FrozenBank {
+        let state = self.shared.lock();
+        FrozenBank {
+            entries: state
+                .entries
+                .iter()
+                .map(|e| FrozenBankEntry {
+                    scope: e.scope.clone(),
+                    fingerprint: e.fingerprint,
+                    runtime: e.runtime.clone(),
+                })
+                .collect(),
+            stats: state.stats.clone(),
+        }
+    }
+
+    /// Apply a frozen image onto this (freshly created) bank: replaces the
+    /// installed entries and stats, keeps the extractor.
+    pub fn thaw(&self, frozen: FrozenBank) {
+        let mut state = self.shared.lock();
+        state.entries = frozen
+            .entries
+            .into_iter()
+            .map(|e| BankEntry { scope: e.scope, fingerprint: e.fingerprint, runtime: e.runtime })
+            .collect();
+        state.stats = frozen.stats;
+    }
+
     /// Snapshot of the aggregate filter statistics.
     pub fn stats(&self) -> FastLoopStatsSnapshot {
         let s = &self.shared.lock().stats;
@@ -153,8 +184,25 @@ impl BankHandle {
     }
 }
 
+/// One installed program in a [`FrozenBank`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenBankEntry {
+    pub scope: ProgramScope,
+    pub fingerprint: u64,
+    pub runtime: PipelineRuntime,
+}
+
+/// A [`BankHandle`]'s checkpointable image: installed programs (scope +
+/// fingerprint + compiled runtime, including live token-bucket levels)
+/// and the aggregate filter statistics.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenBank {
+    pub entries: Vec<FrozenBankEntry>,
+    pub stats: FastLoopStats,
+}
+
 /// A copyable snapshot of [`FastLoopStats`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct FastLoopStatsSnapshot {
     pub packets: u64,
     pub dropped: u64,
@@ -244,7 +292,7 @@ impl PacketFilter for BankFilter {
 }
 
 /// One detection-to-mitigation episode.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MitigationEvent {
     pub victim: IpAddr,
     pub detected_at: SimTime,
@@ -255,7 +303,7 @@ pub struct MitigationEvent {
 }
 
 /// Why the controller abandoned a detection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum GiveUpReason {
     /// The retry budget ran out.
     Exhausted,
@@ -273,7 +321,7 @@ pub enum GiveUpReason {
 /// and the retry budget or timeout ran out — or the circuit breaker
 /// refused to send more. Never silently dropped: the rollout guard
 /// treats each of these as a rollback-eligible failure.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InstallGiveUp {
     pub victim: IpAddr,
     pub detected_at: SimTime,
@@ -437,6 +485,70 @@ impl MitigationController {
         (std::mem::take(&mut self.obs), std::mem::take(&mut self.detector.obs))
     }
 
+    /// Freeze the controller's dynamic state for a checkpoint: detector
+    /// image, in-flight installs (sorted by timer token for determinism),
+    /// install-RNG state, breaker, episode history, and telemetry values.
+    /// Config, model, and bank handle are reconstructed by the driver.
+    pub fn freeze(&self) -> FrozenController {
+        let mut pending: Vec<(u64, FrozenPending)> = self
+            .pending
+            .iter()
+            .map(|(&token, p)| {
+                (
+                    token,
+                    FrozenPending {
+                        det: p.det.clone(),
+                        attempts: p.attempts,
+                        first_attempt: p.first_attempt,
+                        span: p.span.index(),
+                    },
+                )
+            })
+            .collect();
+        pending.sort_by_key(|&(token, _)| token);
+        FrozenController {
+            detector: self.detector.freeze(),
+            pending,
+            next_token: self.next_token,
+            install_rng: self.install_rng.state(),
+            breaker: self.breaker.clone(),
+            events: self.events.clone(),
+            giveups: self.giveups.clone(),
+            sink: self.obs.sink.clone(),
+            tracer: self.obs.tracer.clone(),
+        }
+    }
+
+    /// Apply a frozen image onto a freshly constructed controller (same
+    /// config, model, and bank handle). The bank itself is thawed
+    /// separately via [`BankHandle::thaw`].
+    pub fn thaw_state(&mut self, frozen: FrozenController) {
+        self.detector.thaw_state(frozen.detector);
+        self.pending = frozen
+            .pending
+            .into_iter()
+            .map(|(token, p)| {
+                (
+                    token,
+                    PendingInstall {
+                        det: p.det,
+                        attempts: p.attempts,
+                        first_attempt: p.first_attempt,
+                        span: OpenSpan::from_index(p.span),
+                    },
+                )
+            })
+            .collect();
+        self.next_token = frozen.next_token;
+        self.install_rng = rand::rngs::StdRng::from_state(frozen.install_rng);
+        self.breaker = frozen.breaker;
+        self.events = frozen.events;
+        self.giveups = frozen.giveups;
+        self.obs = ControllerObs::new();
+        self.obs.sink = frozen.sink;
+        self.obs.tracer = frozen.tracer;
+    }
+
     fn handle_detections(&mut self, now: SimTime, detections: Vec<Detection>, cmds: &mut Commands) {
         for det in detections {
             // One active mitigation per victim.
@@ -454,6 +566,34 @@ impl MitigationController {
             cmds.set_timer(at, token);
         }
     }
+}
+
+/// An in-flight install in a [`FrozenController`]; the open episode span
+/// is carried as its tracer index.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenPending {
+    pub det: Detection,
+    pub attempts: u32,
+    pub first_attempt: SimTime,
+    pub span: usize,
+}
+
+/// A [`MitigationController`]'s checkpointable image. Deliberately NOT
+/// captured: the config (scenario-derived), the trained model (retrained
+/// deterministically), and the bank handle (frozen as [`FrozenBank`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenController {
+    pub detector: FrozenDetector,
+    /// In-flight installs keyed by timer token, sorted ascending.
+    pub pending: Vec<(u64, FrozenPending)>,
+    pub next_token: u64,
+    /// xoshiro256++ word state of the install-flake RNG.
+    pub install_rng: [u64; 4],
+    pub breaker: Option<CircuitBreaker>,
+    pub events: Vec<MitigationEvent>,
+    pub giveups: Vec<InstallGiveUp>,
+    pub sink: ObsSink,
+    pub tracer: Tracer,
 }
 
 impl campuslab_netsim::SimHooks for MitigationController {

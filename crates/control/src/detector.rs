@@ -6,10 +6,11 @@ use crate::observe::DetectorObs;
 use campuslab_capture::PacketRecord;
 use campuslab_features::{aggregate, LabelMode, WindowConfig};
 use campuslab_ml::Classifier;
+use campuslab_obs::ObsSink;
 use std::net::IpAddr;
 
 /// One detection: a destination flagged in a closed window.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Detection {
     pub dst: IpAddr,
     /// Nanosecond timestamp of the end of the window that triggered.
@@ -163,6 +164,55 @@ impl StreamingWindowDetector {
         self.obs.on_window_closed(coverage, false, out.len() as u64);
         out
     }
+
+    /// Freeze the detector's dynamic state for a checkpoint. The trained
+    /// model is deliberately NOT captured: it is rebuilt deterministically
+    /// by whoever constructs the detector (same seed, same training data),
+    /// which keeps trait objects out of the checkpoint format.
+    pub fn freeze(&self) -> FrozenDetector {
+        FrozenDetector {
+            cfg: self.cfg,
+            gate: self.gate,
+            current_window: self.current_window,
+            buffer: self.buffer.clone(),
+            gaps: self.gaps.clone(),
+            min_coverage: self.min_coverage,
+            observed: self.observed,
+            gap_windows_skipped: self.gap_windows_skipped,
+            sink: self.obs.sink.clone(),
+        }
+    }
+
+    /// Apply a frozen image onto a freshly constructed detector (same
+    /// model, same construction path). Overwrites every dynamic field.
+    pub fn thaw_state(&mut self, frozen: FrozenDetector) {
+        self.cfg = frozen.cfg;
+        self.gate = frozen.gate;
+        self.current_window = frozen.current_window;
+        self.buffer = frozen.buffer;
+        self.gaps = frozen.gaps;
+        self.min_coverage = frozen.min_coverage;
+        self.observed = frozen.observed;
+        self.gap_windows_skipped = frozen.gap_windows_skipped;
+        self.obs = DetectorObs::new();
+        self.obs.sink = frozen.sink;
+    }
+}
+
+/// A [`StreamingWindowDetector`]'s checkpointable image: everything but
+/// the model (rebuilt by the constructor) and the metric schema (rebuilt
+/// by [`DetectorObs::new`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenDetector {
+    pub cfg: WindowConfig,
+    pub gate: f64,
+    pub current_window: Option<u64>,
+    pub buffer: Vec<PacketRecord>,
+    pub gaps: Vec<(u64, u64)>,
+    pub min_coverage: f64,
+    pub observed: u64,
+    pub gap_windows_skipped: u64,
+    pub sink: ObsSink,
 }
 
 #[cfg(test)]

@@ -29,13 +29,13 @@
 use crate::devloop::{run_development_loop, DevLoopConfig};
 use crate::observe::DriftObs;
 use crate::rollout::{RolloutEvent, RolloutEventKind};
-use campuslab_capture::sketch::HeavyHitters;
+use campuslab_capture::sketch::{FrozenHeavyHitters, HeavyHitters};
 use campuslab_capture::{Direction, PacketRecord};
 use campuslab_dataplane::{PipelineProgram, ProgramVersion, SwitchModel};
-use campuslab_features::{WindowCell, WindowConfig, WindowStream};
+use campuslab_features::{FrozenWindowStream, WindowCell, WindowConfig, WindowStream};
 use campuslab_netsim::fxhash::FxHasher;
 use campuslab_netsim::{Commands, Dir, LinkId, Packet, SimDuration, SimHooks, SimTime};
-use campuslab_obs::OpenSpan;
+use campuslab_obs::{ObsSink, OpenSpan, Tracer};
 use std::collections::{BTreeSet, VecDeque};
 use std::hash::Hasher;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -97,7 +97,7 @@ impl DriftPilotConfig {
 }
 
 /// What fired a retrain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RetrainTrigger {
     /// The periodic schedule came due.
     Periodic,
@@ -106,7 +106,7 @@ pub enum RetrainTrigger {
 }
 
 /// Where a retrain's candidate ended up, pilot-side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RetrainOutcome {
     /// Queued for the rollout guard.
     Queued,
@@ -119,7 +119,7 @@ pub enum RetrainOutcome {
 }
 
 /// One retrain, fully fingerprinted.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RetrainRecord {
     pub at: SimTime,
     pub trigger: RetrainTrigger,
@@ -133,7 +133,7 @@ pub struct RetrainRecord {
 }
 
 /// One drift episode: threshold crossing to SLOs green.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DriftEpisode {
     pub ordinal: u64,
     pub onset: SimTime,
@@ -325,6 +325,72 @@ impl DriftPilot {
         std::mem::take(&mut self.obs)
     }
 
+    /// Freeze the pilot's dynamic state for a checkpoint: stream
+    /// accumulators, sealed cells, training buffer, drift sketches and
+    /// references, episode machinery, submission bookkeeping, and
+    /// telemetry values. Config (and the devloop inside it) is
+    /// scenario-derived and reconstructed by the driver.
+    pub fn freeze(&self) -> FrozenDriftPilot {
+        FrozenDriftPilot {
+            stream: self.stream.freeze(),
+            cells: self.cells.clone(),
+            buffer: self.buffer.iter().cloned().collect(),
+            hh_ports: self.hh_ports.freeze(),
+            hh_prefixes: self.hh_prefixes.freeze(),
+            ref_ports: self.ref_ports.clone(),
+            ref_prefixes: self.ref_prefixes.clone(),
+            last_retrain: self.last_retrain,
+            bootstrapped: self.bootstrapped,
+            records_at_tick: self.records_at_tick,
+            in_drift: self.in_drift,
+            drift_span: self.drift_span.as_ref().map(|s| s.index()),
+            drift_onset: self.drift_onset,
+            ordinal: self.ordinal,
+            retrained_since_onset: self.retrained_since_onset,
+            deployed_fp: self.deployed_fp,
+            inflight: self.inflight,
+            barred: self.barred.iter().copied().collect(),
+            mine: self.mine.iter().copied().collect(),
+            outbox: self.outbox.clone(),
+            episodes: self.episodes.clone(),
+            retrains: self.retrains.clone(),
+            sink: self.obs.sink.clone(),
+            tracer: self.obs.tracer.clone(),
+        }
+    }
+
+    /// Apply a frozen image onto a freshly constructed pilot (same
+    /// config). Every dynamic field is overwritten; the metric prefix is
+    /// preserved so plaza tenants thaw under their own names.
+    pub fn thaw_state(&mut self, frozen: FrozenDriftPilot) {
+        self.stream = WindowStream::thaw(frozen.stream);
+        self.cells = frozen.cells;
+        self.buffer = frozen.buffer.into();
+        self.hh_ports = HeavyHitters::thaw(frozen.hh_ports);
+        self.hh_prefixes = HeavyHitters::thaw(frozen.hh_prefixes);
+        self.ref_ports = frozen.ref_ports;
+        self.ref_prefixes = frozen.ref_prefixes;
+        self.last_retrain = frozen.last_retrain;
+        self.bootstrapped = frozen.bootstrapped;
+        self.records_at_tick = frozen.records_at_tick;
+        self.in_drift = frozen.in_drift;
+        self.drift_span = frozen.drift_span.map(OpenSpan::from_index);
+        self.drift_onset = frozen.drift_onset;
+        self.ordinal = frozen.ordinal;
+        self.retrained_since_onset = frozen.retrained_since_onset;
+        self.deployed_fp = frozen.deployed_fp;
+        self.inflight = frozen.inflight;
+        self.barred = frozen.barred.into_iter().collect();
+        self.mine = frozen.mine.into_iter().collect();
+        self.outbox = frozen.outbox;
+        self.episodes = frozen.episodes;
+        self.retrains = frozen.retrains;
+        let prefix = self.obs.prefix().to_string();
+        self.obs = DriftObs::with_prefix(prefix);
+        self.obs.sink = frozen.sink;
+        self.obs.tracer = frozen.tracer;
+    }
+
     fn close_episode(&mut self, at: SimTime) {
         if let Some(span) = self.drift_span.take() {
             self.obs.on_drift_mitigated(span, self.drift_onset.as_nanos(), at.as_nanos());
@@ -442,6 +508,40 @@ impl DriftPilot {
             outcome,
         });
     }
+}
+
+/// A [`DriftPilot`]'s checkpointable image. Deliberately NOT captured:
+/// the config (scenario-derived, including the devloop — retrains are
+/// pure functions of the buffered records, so models need no transport).
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenDriftPilot {
+    pub stream: FrozenWindowStream,
+    pub cells: Vec<WindowCell>,
+    pub buffer: Vec<PacketRecord>,
+    pub hh_ports: FrozenHeavyHitters,
+    pub hh_prefixes: FrozenHeavyHitters,
+    pub ref_ports: Vec<(IpAddr, u64)>,
+    pub ref_prefixes: Vec<(IpAddr, u64)>,
+    pub last_retrain: SimTime,
+    pub bootstrapped: bool,
+    pub records_at_tick: u64,
+    pub in_drift: bool,
+    /// The open drift span's tracer index.
+    pub drift_span: Option<usize>,
+    pub drift_onset: SimTime,
+    pub ordinal: u64,
+    pub retrained_since_onset: bool,
+    pub deployed_fp: u64,
+    pub inflight: Option<u64>,
+    /// Barred fingerprints, ascending.
+    pub barred: Vec<u64>,
+    /// Every fingerprint this pilot ever submitted, ascending.
+    pub mine: Vec<u64>,
+    pub outbox: Vec<PipelineProgram>,
+    pub episodes: Vec<DriftEpisode>,
+    pub retrains: Vec<RetrainRecord>,
+    pub sink: ObsSink,
+    pub tracer: Tracer,
 }
 
 impl SimHooks for DriftPilot {

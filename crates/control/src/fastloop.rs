@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 /// Counters shared between the deployed filter (owned by the simulator)
 /// and the experiment harness.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct FastLoopStats {
     pub packets: u64,
     pub dropped: u64,
@@ -118,7 +118,7 @@ impl PacketFilter for DeployedFilter {
 }
 
 /// Shadow-verdict accounting for one SLO window (or the run total).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ShadowWindow {
     /// Mirrored packets evaluated.
     pub mirrored: u64,
@@ -144,6 +144,10 @@ impl ShadowWindow {
 /// A candidate program evaluated on mirrored tap traffic: verdicts are
 /// recorded against packet ground truth but *never* enforced — no packet
 /// is dropped by a shadow. This is the rollout guard's shadow stage.
+///
+/// Serializable wholesale: a mirror is pure state (extractor + compiled
+/// runtime + accounting), so checkpoints carry it directly.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct ShadowMirror {
     extractor: FieldExtractor,
     runtime: PipelineRuntime,

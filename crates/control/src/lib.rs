@@ -33,19 +33,20 @@ pub mod driftpilot;
 pub mod observe;
 
 pub use controller::{
-    BankFilter, BankHandle, FastLoopStatsSnapshot, GiveUpReason, InstallGiveUp, InstallPolicy,
-    MitigationController, MitigationControllerConfig, MitigationEvent, Placement, ProgramScope,
+    BankFilter, BankHandle, FastLoopStatsSnapshot, FrozenBank, FrozenBankEntry, FrozenController,
+    FrozenPending, GiveUpReason, InstallGiveUp, InstallPolicy, MitigationController,
+    MitigationControllerConfig, MitigationEvent, Placement, ProgramScope,
 };
-pub use detector::{Detection, StreamingWindowDetector};
+pub use detector::{Detection, FrozenDetector, StreamingWindowDetector};
 pub use devloop::{run_development_loop, DevLoopConfig, DevLoopResult, ModelEval, TeacherKind};
 pub use driftpilot::{
-    records_hash, retrain_window, DriftEpisode, DriftPilot, DriftPilotConfig, RetrainOutcome,
-    RetrainRecord, RetrainTrigger,
+    records_hash, retrain_window, DriftEpisode, DriftPilot, DriftPilotConfig, FrozenDriftPilot,
+    RetrainOutcome, RetrainRecord, RetrainTrigger,
 };
 pub use fastloop::{DeployedFilter, FastLoopStats, ShadowMirror, ShadowWindow};
 pub use observe::{ControllerObs, DetectorObs, DriftObs, PlazaObs, RolloutObs};
 pub use rollout::{
-    BreakerState, CircuitBreaker, CircuitBreakerPolicy, ProgramRegistry, RejectReason,
-    RolloutConfig, RolloutEvent, RolloutEventKind, RolloutGuard, RolloutStage, SloPolicy,
-    SloViolation,
+    BreakerState, CircuitBreaker, CircuitBreakerPolicy, FrozenCandidate, FrozenGuard,
+    ProgramRegistry, RejectReason, RolloutConfig, RolloutEvent, RolloutEventKind, RolloutGuard,
+    RolloutStage, SloPolicy, SloViolation,
 };

@@ -33,11 +33,11 @@ use campuslab_dataplane::{FieldExtractor, PipelineProgram, ProgramVersion};
 use campuslab_netsim::{
     Commands, Dir, LinkId, Outage, Packet, SimDuration, SimHooks, SimTime,
 };
-use campuslab_obs::OpenSpan;
+use campuslab_obs::{ObsSink, OpenSpan, Tracer};
 use std::net::IpAddr;
 
 /// Where a candidate currently sits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum RolloutStage {
     /// No candidate under supervision.
     Idle,
@@ -71,7 +71,7 @@ impl RolloutStage {
 }
 
 /// Which SLO gate a window tripped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum SloViolation {
     /// Shadow verdicts flagged too much benign traffic.
     FalsePositiveRate,
@@ -86,7 +86,7 @@ pub enum SloViolation {
 }
 
 /// Why a submission was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RejectReason {
     /// Another candidate is already under supervision.
     Busy,
@@ -139,7 +139,7 @@ impl Default for SloPolicy {
 }
 
 /// One guard decision, sim-time stamped.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RolloutEvent {
     pub at: SimTime,
     pub program: ProgramVersion,
@@ -147,7 +147,7 @@ pub struct RolloutEvent {
 }
 
 /// What happened to a candidate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum RolloutEventKind {
     /// Accepted for supervision; shadow evaluation begins.
     Submitted,
@@ -169,7 +169,7 @@ pub enum RolloutEventKind {
 
 /// The versioned last-known-good lineage. The newest entry is what a
 /// rollback leaves in force.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ProgramRegistry {
     versions: Vec<(ProgramVersion, PipelineProgram)>,
 }
@@ -214,7 +214,7 @@ impl ProgramRegistry {
 }
 
 /// When to stop hammering a failing install channel.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct CircuitBreakerPolicy {
     /// Consecutive failures that trip the breaker open.
     pub open_after: u32,
@@ -229,7 +229,7 @@ impl Default for CircuitBreakerPolicy {
 }
 
 /// Breaker position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BreakerState {
     /// Requests flow; failures are counted.
     Closed,
@@ -243,7 +243,7 @@ pub enum BreakerState {
 /// until `open_after` consecutive failures, then `Open` for the
 /// cooldown, then `HalfOpen` letting a single probe through — probe
 /// success closes it, probe failure re-opens it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CircuitBreaker {
     policy: CircuitBreakerPolicy,
     state: BreakerState,
@@ -376,8 +376,9 @@ pub struct RolloutGuard {
 }
 
 /// Deterministic running mean (same accumulation order every run).
-#[derive(Debug, Clone, Copy, Default)]
-struct Mean {
+/// Public only so checkpoints ([`FrozenGuard`]) can carry the baselines.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct Mean {
     sum: f64,
     n: u64,
 }
@@ -492,6 +493,77 @@ impl RolloutGuard {
         let mut obs = RolloutObs::with_prefix(prefix);
         obs.set_registry_versions(self.registry.len());
         self.obs = obs;
+    }
+
+    /// Freeze the guard's dynamic state for a checkpoint: lineage, stage
+    /// machine, candidate (with its live shadow mirror), baselines,
+    /// streaks, cooldowns, and telemetry values. Config and bank handle
+    /// are reconstructed by the driver; the bank's contents freeze
+    /// separately as [`crate::controller::FrozenBank`].
+    pub fn freeze(&self) -> FrozenGuard {
+        FrozenGuard {
+            registry: self.registry.clone(),
+            known_good: self.known_good.clone(),
+            stage: self.stage,
+            candidate: self.candidate.as_ref().map(|c| FrozenCandidate {
+                program: c.program.clone(),
+                version: c.version.clone(),
+                mirror: c.mirror.clone(),
+            }),
+            stage_span: self.stage_span.as_ref().map(|s| s.index()),
+            stage_entered: self.stage_entered,
+            cooldown_until: self.cooldown_until,
+            healthy_streak: self.healthy_streak,
+            violation_streak: self.violation_streak,
+            last_bank: self.last_bank,
+            baseline_benign_drop: self.baseline_benign_drop,
+            baseline_capture_loss: self.baseline_capture_loss,
+            window_ttm_ms: self.window_ttm_ms.clone(),
+            window_giveups: self.window_giveups,
+            awaiting_recovery: self.awaiting_recovery,
+            rolled_back_version: self.rolled_back_version.clone(),
+            bootstrapped: self.bootstrapped,
+            ticking: self.ticking,
+            next_submission: self.next_submission,
+            events: self.events.clone(),
+            sink: self.obs.sink.clone(),
+            tracer: self.obs.tracer.clone(),
+        }
+    }
+
+    /// Apply a frozen image onto a freshly constructed guard (same config,
+    /// same known-good program, fresh bank handle). Every dynamic field is
+    /// overwritten; the metric prefix is preserved so plaza tenants thaw
+    /// under their own names.
+    pub fn thaw_state(&mut self, frozen: FrozenGuard) {
+        self.registry = frozen.registry;
+        self.known_good = frozen.known_good;
+        self.stage = frozen.stage;
+        self.candidate = frozen.candidate.map(|c| Candidate {
+            program: c.program,
+            version: c.version,
+            mirror: c.mirror,
+        });
+        self.stage_span = frozen.stage_span.map(OpenSpan::from_index);
+        self.stage_entered = frozen.stage_entered;
+        self.cooldown_until = frozen.cooldown_until;
+        self.healthy_streak = frozen.healthy_streak;
+        self.violation_streak = frozen.violation_streak;
+        self.last_bank = frozen.last_bank;
+        self.baseline_benign_drop = frozen.baseline_benign_drop;
+        self.baseline_capture_loss = frozen.baseline_capture_loss;
+        self.window_ttm_ms = frozen.window_ttm_ms;
+        self.window_giveups = frozen.window_giveups;
+        self.awaiting_recovery = frozen.awaiting_recovery;
+        self.rolled_back_version = frozen.rolled_back_version;
+        self.bootstrapped = frozen.bootstrapped;
+        self.ticking = frozen.ticking;
+        self.next_submission = frozen.next_submission;
+        self.events = frozen.events;
+        let prefix = self.obs.prefix().to_string();
+        self.obs = RolloutObs::with_prefix(prefix);
+        self.obs.sink = frozen.sink;
+        self.obs.tracer = frozen.tracer;
     }
 
     fn enter_stage(&mut self, now: SimTime, stage: RolloutStage) {
@@ -784,6 +856,44 @@ impl RolloutGuard {
             }
         }
     }
+}
+
+/// A [`FrozenGuard`]'s candidate: program, version, and the live shadow
+/// mirror (whose runtime carries token-bucket levels mid-window).
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenCandidate {
+    pub program: PipelineProgram,
+    pub version: ProgramVersion,
+    pub mirror: ShadowMirror,
+}
+
+/// A [`RolloutGuard`]'s checkpointable image. Deliberately NOT captured:
+/// the config (scenario-derived) and the bank handle (frozen separately).
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenGuard {
+    pub registry: ProgramRegistry,
+    pub known_good: ProgramVersion,
+    pub stage: RolloutStage,
+    pub candidate: Option<FrozenCandidate>,
+    /// The open stage span's tracer index.
+    pub stage_span: Option<usize>,
+    pub stage_entered: SimTime,
+    pub cooldown_until: SimTime,
+    pub healthy_streak: u32,
+    pub violation_streak: u32,
+    pub last_bank: crate::controller::FastLoopStatsSnapshot,
+    pub baseline_benign_drop: Mean,
+    pub baseline_capture_loss: Mean,
+    pub window_ttm_ms: Vec<u64>,
+    pub window_giveups: u32,
+    pub awaiting_recovery: bool,
+    pub rolled_back_version: Option<ProgramVersion>,
+    pub bootstrapped: bool,
+    pub ticking: bool,
+    pub next_submission: usize,
+    pub events: Vec<RolloutEvent>,
+    pub sink: ObsSink,
+    pub tracer: Tracer,
 }
 
 impl SimHooks for RolloutGuard {

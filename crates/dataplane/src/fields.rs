@@ -109,7 +109,7 @@ pub type FieldValues = [u32; FIELD_ORDER.len()];
 /// Extracts field values from live packets at a switch ingress. Direction
 /// is inferred from the campus prefix: traffic *to* a campus address is
 /// inbound.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FieldExtractor {
     campus: Prefix,
 }

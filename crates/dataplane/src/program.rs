@@ -87,7 +87,7 @@ impl std::fmt::Display for ProgramVersion {
 }
 
 /// A per-entry policer: a classic token bucket over bits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 struct TokenBucket {
     rate_bps: u64,
     burst_bits: f64,
@@ -119,7 +119,7 @@ impl TokenBucket {
 }
 
 /// Runtime state: the program plus hit counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PipelineRuntime {
     program: PipelineProgram,
     /// Token-bucket state per entry (None for non-policing entries).

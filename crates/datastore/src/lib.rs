@@ -34,9 +34,11 @@ pub mod query;
 pub mod segment;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use observe::StoreObs;
 pub use persist::{load, save, PersistError};
+pub use wal::{frame_len, RecoveryReport, SealedSegment, WalConfig, WalRecord, WalStore};
 pub use query::{FlowQuery, PacketQuery, QueryStats};
 pub use segment::{SegmentStats, SEGMENT_CAPACITY};
 pub use stats::{summarize, top_talkers, volume_per_second, StoreSummary};

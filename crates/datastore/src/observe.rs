@@ -29,6 +29,7 @@ pub struct StoreObs {
     packet_segments: GaugeId,
     flow_segments: GaugeId,
     query_cost: HistogramId,
+    persist_corrupt: CounterId,
 }
 
 impl Default for StoreObs {
@@ -71,6 +72,12 @@ impl StoreObs {
             "records examined per query (deterministic sim-time cost proxy)",
             &[1, 8, 64, 512, 4096, 32768, 262144],
         );
+        // Registered last: ids are positional, and appending keeps every
+        // previously committed golden bundle's counter layout intact.
+        let persist_corrupt = reg.counter(
+            "ds_persist_corrupt_total",
+            "corruption events detected while recovering persisted state (WAL frames, sealed segments, snapshots)",
+        );
         let sink = reg.sink();
         StoreObs {
             registry: reg,
@@ -88,6 +95,7 @@ impl StoreObs {
             packet_segments,
             flow_segments,
             query_cost,
+            persist_corrupt,
         }
     }
 
@@ -128,6 +136,16 @@ impl StoreObs {
     #[inline]
     pub(crate) fn on_retired(&mut self, n: u64) {
         self.sink.add(self.retired_records, n);
+    }
+
+    /// Record `n` corruption events found while recovering persisted
+    /// state (a torn WAL tail, a bad sealed-segment checksum, a rejected
+    /// snapshot). Bumped by [`crate::wal::WalStore::open`] after a lossy
+    /// recovery so the damage is visible on the metrics surface, not just
+    /// in a return value somebody may have dropped.
+    #[inline]
+    pub(crate) fn on_persist_corrupt(&mut self, n: u64) {
+        self.sink.add(self.persist_corrupt, n);
     }
 
     #[inline]
@@ -174,6 +192,11 @@ impl StoreObs {
     /// Records dropped by retention.
     pub fn retired_records(&self) -> u64 {
         self.sink.counter(self.retired_records)
+    }
+
+    /// Corruption events detected while recovering persisted state.
+    pub fn persist_corrupt(&self) -> u64 {
+        self.sink.counter(self.persist_corrupt)
     }
 
     /// Live packet-chain segments (last published value).

@@ -27,9 +27,12 @@ pub enum PersistError {
     Format(serde_json::Error),
     /// The file is a future (or corrupt) version.
     Version { found: u32, supported: u32 },
-    /// The file parsed but its records violate store invariants. A corrupt
-    /// snapshot must come back as `Err`, never abort the process.
-    Corrupt { what: String },
+    /// The bytes violate the format or the records violate store
+    /// invariants. Corruption must come back as `Err`, never abort the
+    /// process. `segment`/`offset` locate the damage when the source is
+    /// the segment-granular WAL (`None` for the single-document snapshot):
+    /// the segment file id and the byte offset of the first bad frame.
+    Corrupt { what: String, segment: Option<u64>, offset: Option<u64> },
 }
 
 impl std::fmt::Display for PersistError {
@@ -40,7 +43,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Version { found, supported } => {
                 write!(f, "unsupported store version {found} (supported {supported})")
             }
-            PersistError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
+            PersistError::Corrupt { what, segment: Some(seg), offset: Some(off) } => {
+                write!(f, "corrupt segment {seg} at byte {off}: {what}")
+            }
+            PersistError::Corrupt { what, .. } => write!(f, "corrupt snapshot: {what}"),
         }
     }
 }
@@ -79,7 +85,11 @@ pub fn save<W: Write>(ds: &DataStore, mut out: W) -> Result<(), PersistError> {
 /// later.
 fn validate(snapshot: &Snapshot) -> Result<(), PersistError> {
     if snapshot.version == 0 {
-        return Err(PersistError::Corrupt { what: "version 0 is never written".into() });
+        return Err(PersistError::Corrupt {
+            what: "version 0 is never written".into(),
+            segment: None,
+            offset: None,
+        });
     }
     for (i, f) in snapshot.flows.iter().enumerate() {
         if f.last_ts_ns < f.first_ts_ns {
@@ -88,14 +98,22 @@ fn validate(snapshot: &Snapshot) -> Result<(), PersistError> {
                     "flow {i} ends before it starts ({} < {})",
                     f.last_ts_ns, f.first_ts_ns
                 ),
+                segment: None,
+                offset: None,
             });
         }
         if f.total_packets() == 0 {
-            return Err(PersistError::Corrupt { what: format!("flow {i} carries no packets") });
+            return Err(PersistError::Corrupt {
+                what: format!("flow {i} carries no packets"),
+                segment: None,
+                offset: None,
+            });
         }
         if f.min_len > f.max_len {
             return Err(PersistError::Corrupt {
                 what: format!("flow {i} min_len {} > max_len {}", f.min_len, f.max_len),
+                segment: None,
+                offset: None,
             });
         }
     }
@@ -229,7 +247,7 @@ mod tests {
             .unwrap()
             .replace("\"first_ts_ns\":9000", "\"first_ts_ns\":9999999");
         match load(text.as_bytes()) {
-            Err(PersistError::Corrupt { what }) => {
+            Err(PersistError::Corrupt { what, segment: None, offset: None }) => {
                 assert!(what.contains("ends before it starts"), "{what}");
             }
             other => panic!("expected corrupt error, got {other:?}"),

@@ -1,0 +1,717 @@
+//! Segment-granular durability: an append-only write-ahead log under the
+//! in-memory [`DataStore`], superseding the all-or-nothing snapshot of
+//! [`crate::persist`] (which stays as an export format — see
+//! [`WalStore::export_snapshot`]).
+//!
+//! On-disk layout, one directory per store:
+//!
+//! ```text
+//! wal-000000.seg   sealed: immutable, length + crc32 pinned by MANIFEST
+//! wal-000001.seg   sealed
+//! wal-000002.seg   tail: append-only, recovered frame by frame
+//! MANIFEST         JSON, committed via MANIFEST.tmp + atomic rename
+//! ```
+//!
+//! Each segment is a run of frames `[len u32 LE][crc32 u32 LE][payload]`,
+//! where the payload is one JSON-encoded [`WalRecord`] batch. Appends go
+//! to the tail segment only; when the tail outgrows the seal threshold it
+//! is sealed — whole-file checksum recorded in the manifest, new empty
+//! tail opened — so durability metadata grows per *segment*, not per
+//! append.
+//!
+//! Recovery contract (the crash-fault half of experiment E19):
+//!
+//! * A sealed segment whose length or checksum disagrees with the
+//!   manifest is **data loss**, reported as a typed
+//!   [`PersistError::Corrupt`] carrying the segment id and byte offset —
+//!   never a panic, and never a silent skip.
+//! * The tail is expected to be torn after a crash mid-append. Recovery
+//!   replays frames until the first bad one (short header, short body,
+//!   checksum mismatch, undecodable payload), physically truncates the
+//!   file back to the last good prefix, and reports what it cut in the
+//!   [`RecoveryReport`] and on the store's `ds_persist_corrupt_total`
+//!   counter.
+//! * An interrupted manifest commit leaves a stray `MANIFEST.tmp` next to
+//!   a valid old `MANIFEST`; the stray is removed and the old manifest
+//!   wins — the rename either happened or it didn't.
+
+use crate::persist::PersistError;
+use crate::store::DataStore;
+use campuslab_capture::{DnsMetaRecord, FlowRecord, PacketRecord, SensorRecord};
+use campuslab_obs::crc32;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Current WAL format version (frames and manifest).
+const WAL_VERSION: u32 = 1;
+
+/// Frame header size: payload length + payload crc32.
+const FRAME_HEADER: u64 = 8;
+
+/// One durable append: a batch for exactly one table. Batch granularity
+/// matches the ingest API — a capture flush or a sensor feed lands as one
+/// frame, so the log replays in the same batch order the store saw.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalRecord {
+    Packets(Vec<PacketRecord>),
+    Flows(Vec<FlowRecord>),
+    Dns(Vec<DnsMetaRecord>),
+    Sensors(Vec<SensorRecord>),
+}
+
+/// A sealed segment's manifest entry: everything needed to detect any
+/// byte of drift before replaying it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SealedSegment {
+    pub id: u64,
+    pub frames: u64,
+    pub bytes: u64,
+    pub crc: u32,
+}
+
+/// The durable root: sealed segments (with checksums) plus the id of the
+/// current tail. Only ever replaced whole, via tmp + atomic rename.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    sealed: Vec<SealedSegment>,
+    tail: u64,
+}
+
+/// What [`WalStore::open`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sealed segments verified and replayed.
+    pub sealed_segments: u64,
+    /// Frames replayed across sealed segments and the tail.
+    pub frames_replayed: u64,
+    /// A torn tail, when one was cut: `(segment id, byte offset of the
+    /// first bad frame, reason)`. Everything before the offset was kept.
+    pub torn_tail: Option<(u64, u64, String)>,
+}
+
+impl RecoveryReport {
+    /// True when recovery had to discard bytes.
+    pub fn was_lossy(&self) -> bool {
+        self.torn_tail.is_some()
+    }
+}
+
+/// Tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Seal the tail once it reaches this many bytes. Small values make
+    /// many small immutable files (cheap recovery verification, more
+    /// manifest commits); large values the reverse.
+    pub seal_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { seal_bytes: 4 << 20 }
+    }
+}
+
+/// A [`DataStore`] backed by a write-ahead log: every ingest is appended
+/// to the tail segment (and flushed) *before* it lands in memory, so a
+/// process that dies mid-run reopens to exactly the batches it had
+/// durably appended — minus, at worst, the single frame it was writing.
+pub struct WalStore {
+    dir: PathBuf,
+    cfg: WalConfig,
+    manifest: Manifest,
+    tail_file: File,
+    tail_bytes: u64,
+    tail_frames: u64,
+    store: DataStore,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:06}.seg"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+fn corrupt(what: impl Into<String>, segment: u64, offset: u64) -> PersistError {
+    PersistError::Corrupt { what: what.into(), segment: Some(segment), offset: Some(offset) }
+}
+
+/// Split one segment's bytes into decoded records. Returns the records
+/// decoded from the longest valid prefix, the byte length of that prefix,
+/// and the reason the first bad frame was rejected (`None` when the whole
+/// buffer parsed). Total: arbitrary bytes in, never a panic out.
+fn scan_frames(bytes: &[u8]) -> (Vec<WalRecord>, u64, Option<String>) {
+    let mut records = Vec::new();
+    let mut off = 0u64;
+    loop {
+        let rest = &bytes[off as usize..];
+        if rest.is_empty() {
+            return (records, off, None);
+        }
+        if (rest.len() as u64) < FRAME_HEADER {
+            return (records, off, Some(format!("torn frame header ({} bytes)", rest.len())));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("fixed slice")) as u64;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("fixed slice"));
+        if (rest.len() as u64) < FRAME_HEADER + len {
+            return (
+                records,
+                off,
+                Some(format!(
+                    "torn frame body (header promises {len} bytes, {} present)",
+                    rest.len() as u64 - FRAME_HEADER
+                )),
+            );
+        }
+        let payload = &rest[FRAME_HEADER as usize..(FRAME_HEADER + len) as usize];
+        let actual = crc32(payload);
+        if actual != crc {
+            return (
+                records,
+                off,
+                Some(format!("frame checksum mismatch (header {crc:08x}, payload {actual:08x})")),
+            );
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(e) => return (records, off, Some(format!("frame payload not utf-8: {e}"))),
+        };
+        match serde_json::from_str::<WalRecord>(text) {
+            Ok(rec) => records.push(rec),
+            Err(e) => return (records, off, Some(format!("frame payload undecodable: {e}"))),
+        }
+        off += FRAME_HEADER + len;
+    }
+}
+
+fn replay(store: &mut DataStore, rec: WalRecord) {
+    match rec {
+        WalRecord::Packets(b) => store.ingest_packets(b),
+        WalRecord::Flows(b) => store.ingest_flows(b),
+        WalRecord::Dns(b) => store.ingest_dns(b),
+        WalRecord::Sensors(b) => store.ingest_sensors(b),
+    }
+}
+
+impl WalStore {
+    /// Create or recover a WAL-backed store in `dir` (created if absent).
+    /// Returns the store plus what recovery found. Errors are typed
+    /// ([`PersistError`]) and carry segment/offset for corruption; this
+    /// function never panics on any on-disk state.
+    pub fn open(dir: impl Into<PathBuf>, cfg: WalConfig) -> Result<(Self, RecoveryReport), PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        // A stray tmp means a manifest commit died before the rename:
+        // the old manifest is the truth, the tmp is garbage.
+        let tmp = dir.join("MANIFEST.tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
+
+        let manifest = match std::fs::read(manifest_path(&dir)) {
+            Ok(bytes) => {
+                let text = std::str::from_utf8(&bytes).map_err(|e| PersistError::Corrupt {
+                    what: format!("manifest not utf-8: {e}"),
+                    segment: None,
+                    offset: None,
+                })?;
+                let m: Manifest = serde_json::from_str(text).map_err(|e| PersistError::Corrupt {
+                    what: format!("manifest undecodable: {e}"),
+                    segment: None,
+                    offset: None,
+                })?;
+                if m.version > WAL_VERSION {
+                    return Err(PersistError::Version { found: m.version, supported: WAL_VERSION });
+                }
+                if m.version == 0 {
+                    return Err(PersistError::Corrupt {
+                        what: "manifest version 0 is never written".into(),
+                        segment: None,
+                        offset: None,
+                    });
+                }
+                m
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Manifest { version: WAL_VERSION, sealed: Vec::new(), tail: 0 }
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        let mut store = DataStore::new();
+        let mut report = RecoveryReport::default();
+
+        // Sealed segments: immutable, so any disagreement with the
+        // manifest is real data loss — a typed error, not a repair.
+        for seg in &manifest.sealed {
+            let bytes = std::fs::read(segment_path(&dir, seg.id)).map_err(|e| {
+                corrupt(format!("sealed segment unreadable: {e}"), seg.id, 0)
+            })?;
+            if bytes.len() as u64 != seg.bytes {
+                return Err(corrupt(
+                    format!("sealed segment is {} bytes, manifest pins {}", bytes.len(), seg.bytes),
+                    seg.id,
+                    (bytes.len() as u64).min(seg.bytes),
+                ));
+            }
+            let actual = crc32(&bytes);
+            if actual != seg.crc {
+                return Err(corrupt(
+                    format!("sealed segment crc {actual:08x}, manifest pins {:08x}", seg.crc),
+                    seg.id,
+                    0,
+                ));
+            }
+            let (records, good, bad) = scan_frames(&bytes);
+            if let Some(reason) = bad {
+                // Checksum matched but frames do not parse: the manifest
+                // itself pinned garbage — an encoder bug, surfaced loudly.
+                return Err(corrupt(reason, seg.id, good));
+            }
+            report.sealed_segments += 1;
+            report.frames_replayed += records.len() as u64;
+            for rec in records {
+                replay(&mut store, rec);
+            }
+        }
+
+        // The tail: torn frames are routine after a crash. Keep the good
+        // prefix, truncate the rest, say so.
+        let tail_path = segment_path(&dir, manifest.tail);
+        let tail_bytes_on_disk = match std::fs::read(&tail_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (records, good, bad) = scan_frames(&tail_bytes_on_disk);
+        let tail_frames = records.len() as u64;
+        report.frames_replayed += tail_frames;
+        for rec in records {
+            replay(&mut store, rec);
+        }
+        if let Some(reason) = bad {
+            report.torn_tail = Some((manifest.tail, good, reason));
+        }
+
+        let mut tail_file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&tail_path)?;
+        if report.torn_tail.is_some() {
+            tail_file.set_len(good)?;
+            store.obs.on_persist_corrupt(1);
+        }
+        tail_file.seek(SeekFrom::Start(good))?;
+
+        let wal = WalStore {
+            dir,
+            cfg,
+            manifest,
+            tail_file,
+            tail_bytes: good,
+            tail_frames,
+            store,
+        };
+        Ok((wal, report))
+    }
+
+    /// The recovered/accumulated in-memory store. Mutating the store
+    /// around the WAL would desynchronize log and memory, so only shared
+    /// access is exposed; all writes go through the `append_*` methods.
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// The store's Observatory surface (mutable: rendering and query
+    /// observation need it).
+    pub fn obs_mut(&mut self) -> &mut crate::observe::StoreObs {
+        &mut self.store.obs
+    }
+
+    /// Sealed segments currently pinned by the manifest.
+    pub fn sealed_segments(&self) -> &[SealedSegment] {
+        &self.manifest.sealed
+    }
+
+    /// The tail segment's id.
+    pub fn tail_segment(&self) -> u64 {
+        self.manifest.tail
+    }
+
+    /// Durably append one batch, then ingest it. The frame is flushed to
+    /// the OS before memory changes: a crash after `append_*` returns
+    /// replays the batch, a crash during it tears at most this frame.
+    fn append(&mut self, rec: WalRecord) -> Result<(), PersistError> {
+        let payload = serde_json::to_string(&rec)?.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.tail_file.write_all(&frame)?;
+        self.tail_file.flush()?;
+        self.tail_bytes += frame.len() as u64;
+        self.tail_frames += 1;
+        replay(&mut self.store, rec);
+        if self.tail_bytes >= self.cfg.seal_bytes {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Append a packet batch (no-op for an empty batch, mirroring ingest).
+    pub fn append_packets(&mut self, batch: Vec<PacketRecord>) -> Result<(), PersistError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.append(WalRecord::Packets(batch))
+    }
+
+    /// Append a flow batch.
+    pub fn append_flows(&mut self, batch: Vec<FlowRecord>) -> Result<(), PersistError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.append(WalRecord::Flows(batch))
+    }
+
+    /// Append a DNS metadata batch.
+    pub fn append_dns(&mut self, batch: Vec<DnsMetaRecord>) -> Result<(), PersistError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.append(WalRecord::Dns(batch))
+    }
+
+    /// Append a sensor batch.
+    pub fn append_sensors(&mut self, batch: Vec<SensorRecord>) -> Result<(), PersistError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.append(WalRecord::Sensors(batch))
+    }
+
+    /// Seal the tail now: pin its length and checksum in the manifest
+    /// (committed atomically) and open a fresh empty tail. Idempotent on
+    /// an empty tail.
+    pub fn seal(&mut self) -> Result<(), PersistError> {
+        if self.tail_bytes == 0 {
+            return Ok(());
+        }
+        self.tail_file.sync_all()?;
+        let id = self.manifest.tail;
+        let bytes = std::fs::read(segment_path(&self.dir, id))?;
+        self.manifest.sealed.push(SealedSegment {
+            id,
+            frames: self.tail_frames,
+            bytes: bytes.len() as u64,
+            crc: crc32(&bytes),
+        });
+        self.manifest.tail = id + 1;
+        // Truncate deliberately: a crash between creating the next tail
+        // and committing the manifest leaves a stray file here, and a
+        // fresh tail must start empty.
+        let next = segment_path(&self.dir, self.manifest.tail);
+        let tail_file =
+            OpenOptions::new().create(true).truncate(true).read(true).write(true).open(&next)?;
+        self.commit_manifest()?;
+        self.tail_file = tail_file;
+        self.tail_bytes = 0;
+        self.tail_frames = 0;
+        Ok(())
+    }
+
+    /// Write the manifest to `MANIFEST.tmp`, sync, atomically rename over
+    /// `MANIFEST`. A crash on either side of the rename leaves a complete
+    /// manifest — old or new, never a hybrid.
+    fn commit_manifest(&mut self) -> Result<(), PersistError> {
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let text = serde_json::to_string(&self.manifest)?;
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, manifest_path(&self.dir))?;
+        Ok(())
+    }
+
+    /// Export the current contents as a single-document snapshot — the
+    /// legacy all-or-nothing format of [`crate::persist`], kept as an
+    /// interchange/export artifact now that the WAL owns durability.
+    pub fn export_snapshot<W: Write>(&self, out: W) -> Result<(), PersistError> {
+        crate::persist::save(&self.store, out)
+    }
+}
+
+/// Byte length of the frame that would encode `rec` — the kill-point
+/// grid for mid-append crash tests.
+pub fn frame_len(rec: &WalRecord) -> Result<u64, PersistError> {
+    Ok(FRAME_HEADER + serde_json::to_string(rec)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campuslab_capture::{Direction, TcpFlags};
+    use std::net::IpAddr;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("campuslab-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn packet(ts: u64, tag: u16) -> PacketRecord {
+        PacketRecord {
+            ts_ns: ts,
+            direction: Direction::Inbound,
+            src: IpAddr::from([10, 1, (tag >> 8) as u8, (tag & 0xFF) as u8]),
+            dst: IpAddr::from([203, 0, 113, 1]),
+            protocol: 17,
+            src_port: 53,
+            dst_port: 40_000,
+            wire_len: 100 + u32::from(tag % 500),
+            ttl: 60,
+            tcp_flags: TcpFlags::default(),
+            flow_id: u64::from(tag),
+            label_app: 1,
+            label_attack: u16::from(tag.is_multiple_of(9)),
+        }
+    }
+
+    fn batch(base: u64, n: u16) -> Vec<PacketRecord> {
+        (0..n).map(|i| packet(base + u64::from(i) * 1_000, i)).collect()
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let dir = scratch("replay");
+        {
+            let (mut wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            wal.append_packets(batch(0, 40)).unwrap();
+            wal.append_packets(batch(1_000_000, 25)).unwrap();
+            wal.append_sensors(vec![SensorRecord::ConfigChange {
+                ts_ns: 5,
+                device: "border".into(),
+                summary: "acl change".into(),
+            }])
+            .unwrap();
+        } // process "dies" with the tail unsealed
+        let (wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.frames_replayed, 3);
+        assert!(!report.was_lossy());
+        assert_eq!(wal.store().packet_count(), 65);
+        assert_eq!(wal.store().sensor_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealing_rolls_the_tail_and_reopen_verifies_checksums() {
+        let dir = scratch("seal");
+        {
+            // Tiny threshold: every batch seals its segment.
+            let (mut wal, _) = WalStore::open(&dir, WalConfig { seal_bytes: 1 }).unwrap();
+            wal.append_packets(batch(0, 10)).unwrap();
+            wal.append_packets(batch(1_000_000, 10)).unwrap();
+            wal.append_packets(batch(2_000_000, 10)).unwrap();
+            assert_eq!(wal.sealed_segments().len(), 3);
+            assert_eq!(wal.tail_segment(), 3);
+        }
+        let (wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.sealed_segments, 3);
+        assert_eq!(report.frames_replayed, 3);
+        assert_eq!(wal.store().packet_count(), 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The mid-append kill sweep: truncate the on-disk image at *every*
+    /// byte boundary inside the final frame and reopen. Each cut must
+    /// recover exactly the fully written frames, report the torn tail,
+    /// and bump the corruption counter — and never panic.
+    #[test]
+    fn kill_mid_append_recovers_last_good_prefix_at_every_cut() {
+        let dir = scratch("midappend");
+        let (mut wal, _) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        wal.append_packets(batch(0, 12)).unwrap();
+        let keep_bytes = wal.tail_bytes;
+        wal.append_packets(batch(1_000_000, 7)).unwrap();
+        let full_bytes = wal.tail_bytes;
+        drop(wal);
+        let tail = segment_path(&dir, 0);
+        let image = std::fs::read(&tail).unwrap();
+        assert_eq!(image.len() as u64, full_bytes);
+
+        for cut in keep_bytes..full_bytes {
+            std::fs::write(&tail, &image[..cut as usize]).unwrap();
+            let (wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+            if cut == keep_bytes {
+                // Clean boundary: nothing torn, nothing to report.
+                assert!(!report.was_lossy(), "cut at {cut} is a frame boundary");
+            } else {
+                let (seg, off, _) = report.torn_tail.clone().expect("torn tail reported");
+                assert_eq!((seg, off), (0, keep_bytes), "cut at {cut}");
+                assert_eq!(wal.store().obs.persist_corrupt(), 1);
+                // The file was physically truncated to the good prefix.
+                assert_eq!(
+                    std::fs::metadata(&tail).unwrap().len(),
+                    keep_bytes,
+                    "cut at {cut}"
+                );
+            }
+            assert_eq!(wal.store().packet_count(), 12, "cut at {cut}");
+            assert_eq!(report.frames_replayed, 1, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Appending after a torn-tail recovery extends the good prefix: the
+    /// overwritten garbage never resurfaces.
+    #[test]
+    fn appends_after_recovery_extend_the_good_prefix() {
+        let dir = scratch("extend");
+        let (mut wal, _) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        wal.append_packets(batch(0, 5)).unwrap();
+        let keep = wal.tail_bytes;
+        wal.append_packets(batch(1_000_000, 5)).unwrap();
+        drop(wal);
+        let tail = segment_path(&dir, 0);
+        let image = std::fs::read(&tail).unwrap();
+        std::fs::write(&tail, &image[..(keep + 3) as usize]).unwrap();
+
+        let (mut wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        assert!(report.was_lossy());
+        wal.append_packets(batch(2_000_000, 4)).unwrap();
+        drop(wal);
+        let (wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        assert!(!report.was_lossy(), "the repaired tail reopens clean");
+        assert_eq!(wal.store().packet_count(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_segment_corruption_is_a_typed_error_with_location() {
+        let dir = scratch("sealedbad");
+        {
+            let (mut wal, _) = WalStore::open(&dir, WalConfig { seal_bytes: 1 }).unwrap();
+            wal.append_packets(batch(0, 10)).unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        match WalStore::open(&dir, WalConfig::default()).map(|_| ()) {
+            Err(PersistError::Corrupt { segment: Some(0), offset: Some(_), what }) => {
+                assert!(what.contains("crc"), "{what}");
+            }
+            other => panic!("expected located corruption, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_manifest_tmp_is_discarded_and_old_manifest_wins() {
+        let dir = scratch("straytmp");
+        {
+            let (mut wal, _) = WalStore::open(&dir, WalConfig { seal_bytes: 1 }).unwrap();
+            wal.append_packets(batch(0, 6)).unwrap();
+        }
+        std::fs::write(dir.join("MANIFEST.tmp"), b"{half a man").unwrap();
+        let (wal, report) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(report.sealed_segments, 1);
+        assert_eq!(wal.store().packet_count(), 6);
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error_never_a_panic() {
+        let dir = scratch("manifestbad");
+        {
+            let (mut wal, _) = WalStore::open(&dir, WalConfig::default()).unwrap();
+            wal.append_packets(batch(0, 3)).unwrap();
+            wal.seal().unwrap();
+        }
+        std::fs::write(manifest_path(&dir), b"\xff\xfe not a manifest").unwrap();
+        assert!(matches!(
+            WalStore::open(&dir, WalConfig::default()),
+            Err(PersistError::Corrupt { segment: None, .. })
+        ));
+        std::fs::write(manifest_path(&dir), b"{\"version\":99,\"sealed\":[],\"tail\":0}").unwrap();
+        assert!(matches!(
+            WalStore::open(&dir, WalConfig::default()),
+            Err(PersistError::Version { found: 99, supported: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Never-panic fuzz over the tail scanner, `CAMPUSLAB_FUZZ_CASES`
+    /// scaled: random cuts and single-bit flips over a real multi-frame
+    /// tail image must recover a prefix (possibly empty), never panic,
+    /// and never accept a frame whose checksum lies.
+    #[test]
+    fn tail_scanner_never_panics_on_corrupt_images() {
+        let dir = scratch("fuzz");
+        let (mut wal, _) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        for k in 0..6u16 {
+            wal.append_packets(batch(u64::from(k) * 1_000_000, 8)).unwrap();
+        }
+        drop(wal);
+        let image = std::fs::read(segment_path(&dir, 0)).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let cases: u64 = std::env::var("CAMPUSLAB_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+
+        // Every truncation point: the recovered prefix must be a whole
+        // number of frames no longer than the cut.
+        let stride = (image.len() as u64 / cases.max(1)).max(1);
+        for cut in (0..image.len() as u64).step_by(stride as usize) {
+            let (_, good, _) = scan_frames(&image[..cut as usize]);
+            assert!(good <= cut);
+        }
+
+        // Deterministic single-bit flips (splitmix-style stream).
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..cases {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let pos = (r as usize) % image.len();
+            let bit = (r >> 40) as u8 & 7;
+            let mut flipped = image.clone();
+            flipped[pos] ^= 1 << bit;
+            let (records, good, bad) = scan_frames(&flipped);
+            assert!(good <= image.len() as u64);
+            // A flip anywhere must cut the scan at or before that byte's
+            // frame — records past the flip would mean a checksum lied.
+            if bad.is_some() {
+                assert!(records.len() <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn export_snapshot_matches_the_legacy_format() {
+        let dir = scratch("export");
+        let (mut wal, _) = WalStore::open(&dir, WalConfig::default()).unwrap();
+        wal.append_packets(batch(0, 9)).unwrap();
+        let mut via_wal = Vec::new();
+        wal.export_snapshot(&mut via_wal).unwrap();
+        let loaded = crate::persist::load(&via_wal[..]).unwrap();
+        assert_eq!(loaded.packet_count(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

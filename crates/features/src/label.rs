@@ -3,7 +3,7 @@
 use campuslab_capture::{FlowRecord, PacketRecord};
 
 /// How records map to class labels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum LabelMode {
     /// 0 = benign, 1 = any attack.
     BinaryAttack,

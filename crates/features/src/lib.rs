@@ -33,4 +33,7 @@ pub mod window;
 pub use flowfeat::{flow_dataset, flow_feature_index, flow_features, FLOW_FEATURES};
 pub use label::LabelMode;
 pub use packet::{packet_dataset, packet_feature_index, packet_features, PACKET_FEATURES};
-pub use window::{aggregate, window_dataset, WindowCell, WindowConfig, WindowStream, WINDOW_FEATURES};
+pub use window::{
+    aggregate, window_dataset, FrozenWindowStream, WindowCell, WindowConfig, WindowStream,
+    WINDOW_FEATURES,
+};

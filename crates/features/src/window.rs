@@ -26,7 +26,7 @@ pub const WINDOW_FEATURES: [&str; 11] = [
 ];
 
 /// Windowing parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct WindowConfig {
     /// Tumbling window length.
     pub window_ns: u64,
@@ -42,7 +42,7 @@ impl Default for WindowConfig {
 }
 
 /// One aggregated cell: traffic toward `dst` during window `index`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WindowCell {
     pub dst: IpAddr,
     pub window_index: u64,
@@ -210,6 +210,69 @@ impl WindowStream {
         self.open.values().map(|a| a.pkts as usize).sum()
     }
 
+    /// Freeze the stream's in-flight state (open accumulators included)
+    /// for a checkpoint. Maps flatten to sorted pairs so the frozen image
+    /// is byte-deterministic.
+    pub fn freeze(&self) -> FrozenWindowStream {
+        FrozenWindowStream {
+            cfg: self.cfg,
+            mode: self.mode,
+            open: self
+                .open
+                .iter()
+                .map(|(&(w, dst), acc)| {
+                    (
+                        (w, dst),
+                        FrozenAcc {
+                            pkts: acc.pkts,
+                            bytes: acc.bytes,
+                            srcs: acc.srcs.iter().map(|(&a, &c)| (a, c)).collect(),
+                            udp: acc.udp,
+                            dns_src: acc.dns_src,
+                            syn: acc.syn,
+                            inbound: acc.inbound,
+                            rst: acc.rst,
+                            max_len: acc.max_len,
+                            labels: acc.labels.iter().map(|(&l, &c)| (l, c)).collect(),
+                        },
+                    )
+                })
+                .collect(),
+            floor: self.floor,
+        }
+    }
+
+    /// Rebuild a stream from a frozen image. The thawed stream continues
+    /// byte-identically to one that never stopped.
+    pub fn thaw(frozen: FrozenWindowStream) -> Self {
+        WindowStream {
+            cfg: frozen.cfg,
+            mode: frozen.mode,
+            open: frozen
+                .open
+                .into_iter()
+                .map(|((w, dst), acc)| {
+                    (
+                        (w, dst),
+                        Acc {
+                            pkts: acc.pkts,
+                            bytes: acc.bytes,
+                            srcs: acc.srcs.into_iter().collect(),
+                            udp: acc.udp,
+                            dns_src: acc.dns_src,
+                            syn: acc.syn,
+                            inbound: acc.inbound,
+                            rst: acc.rst,
+                            max_len: acc.max_len,
+                            labels: acc.labels.into_iter().collect(),
+                        },
+                    )
+                })
+                .collect(),
+            floor: frozen.floor,
+        }
+    }
+
     fn seal_below(&mut self, w: u64, out: &mut Vec<WindowCell>) {
         // BTreeMap iteration is (window_index, dst)-ordered — the same
         // order `aggregate` sorts into.
@@ -226,6 +289,31 @@ impl WindowStream {
 /// The smallest `IpAddr` under its `Ord` (v4 sorts before v6).
 fn ip_min() -> IpAddr {
     IpAddr::from([0u8, 0, 0, 0])
+}
+
+/// A [`WindowStream`]'s checkpointable image: one not-yet-sealed
+/// accumulator per `(window, dst)` cell, flattened to sorted pairs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenWindowStream {
+    pub cfg: WindowConfig,
+    pub mode: LabelMode,
+    pub open: Vec<((u64, IpAddr), FrozenAcc)>,
+    pub floor: u64,
+}
+
+/// One frozen per-cell accumulator (maps flattened to sorted pairs).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenAcc {
+    pub pkts: u64,
+    pub bytes: u64,
+    pub srcs: Vec<(IpAddr, u64)>,
+    pub udp: u64,
+    pub dns_src: u64,
+    pub syn: u64,
+    pub inbound: u64,
+    pub rst: u64,
+    pub max_len: u32,
+    pub labels: Vec<(usize, u64)>,
 }
 
 /// Build a window-level dataset.
@@ -391,6 +479,46 @@ mod tests {
         let mut out = Vec::new();
         stream.push(&rec(3_000_000_000, [1, 1, 1, 1], [10, 0, 0, 1], 17, 53, 0), &mut out);
         stream.push(&rec(100, [1, 1, 1, 1], [10, 0, 0, 1], 17, 53, 0), &mut out);
+    }
+
+    #[test]
+    fn frozen_stream_resumes_byte_identically() {
+        // Freeze mid-window, round-trip through JSON, thaw, and finish:
+        // the cells must match a stream that never stopped.
+        let cfg = WindowConfig::default();
+        let mut records = Vec::new();
+        for i in 0..30u64 {
+            records.push(rec(
+                i * 90_000_000,
+                [1, 1, 1, (i % 7) as u8],
+                [10, 0, 0, (i % 2) as u8],
+                if i % 3 == 0 { 6 } else { 17 },
+                53,
+                (i % 2) as u16,
+            ));
+        }
+        let cut = 17;
+        let mut uninterrupted = Vec::new();
+        let mut s1 = WindowStream::new(cfg, LabelMode::BinaryAttack);
+        for r in &records {
+            s1.push(r, &mut uninterrupted);
+        }
+        s1.finish(&mut uninterrupted);
+
+        let mut resumed = Vec::new();
+        let mut s2 = WindowStream::new(cfg, LabelMode::BinaryAttack);
+        for r in &records[..cut] {
+            s2.push(r, &mut resumed);
+        }
+        let json = serde_json::to_string(&s2.freeze()).unwrap();
+        let frozen: FrozenWindowStream = serde_json::from_str(&json).unwrap();
+        let mut s3 = WindowStream::thaw(frozen);
+        assert_eq!(s3.pending(), s2.pending());
+        for r in &records[cut..] {
+            s3.push(r, &mut resumed);
+        }
+        s3.finish(&mut resumed);
+        assert_eq!(resumed, uninterrupted);
     }
 
     #[test]

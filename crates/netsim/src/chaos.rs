@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// One fault transition applied at a scheduled instant.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ChaosAction {
     /// The link hard-fails: every offer is dropped until `LinkUp`.
     LinkDown(LinkId),

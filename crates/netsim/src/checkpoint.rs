@@ -1,0 +1,305 @@
+//! PhoenixRun: freeze/thaw of a quiescent simulation engine.
+//!
+//! A checkpoint is taken *between* [`Network::run`] calls — no event is
+//! mid-dispatch, no shard splice is live — and captures every bit of
+//! dynamic state that distinguishes this engine from one freshly built
+//! from the same topology: the pending event set (with canonical keys),
+//! per-direction link queues and their private RNG streams, fault-model
+//! state (including live Gilbert–Elliott channel state), node and network
+//! counters, and the Observatory sink.
+//!
+//! Restore deliberately does NOT rebuild static topology (nodes, links,
+//! routes, taps are cheap and deterministic to reconstruct from the
+//! scenario); the caller rebuilds the same network shape and then applies
+//! the frozen dynamic state on top. The determinism contract then gives
+//! the strong property the CrashCart harness pins: running the remainder
+//! of the schedule on a thawed engine reproduces the uninterrupted run's
+//! observable output byte-for-byte.
+//!
+//! What is deliberately not captured:
+//! * the packet-box reuse pool (allocation caching, content-irrelevant),
+//! * memoized route caches (rebuilt lazily, behavior-identical),
+//! * trait-object ingress filters (the control plane re-installs its own
+//!   filters from its own frozen state),
+//! * the shard report of the previous windowed run (diagnostics only).
+
+use crate::chaos::ChaosAction;
+use crate::event::{EventKey, EventQueue};
+use crate::link::{Dir, FrozenLink, LinkId};
+use crate::network::{Event, Network, NetStats};
+use crate::node::{NodeId, NodeStats};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use campuslab_obs::ObsSink;
+
+/// Serializable mirror of a pending engine event. Packets ride by value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FrozenEvent {
+    Inject { node: NodeId, packet: Packet },
+    TxDone { link: LinkId, dir: Dir },
+    Arrive { link: LinkId, dir: Dir, packet: Packet },
+    Timer { token: u64 },
+    Chaos { action: ChaosAction },
+}
+
+/// A node's dynamic (non-topology) state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrozenNode {
+    pub stats: NodeStats,
+    pub down_windows: Vec<crate::link::Outage>,
+    pub forced_down: bool,
+}
+
+/// The engine's full dynamic state at a quiescent instant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrozenNetwork {
+    /// Simulation clock at the freeze barrier.
+    pub now: SimTime,
+    /// Seed the per-direction RNG streams derive from (sanity-checked on
+    /// restore; the live stream positions ride in each frozen link).
+    pub seed: u64,
+    /// Root-event counter (injections / timers / chaos numbered so far).
+    pub root_seq: u64,
+    pub stats: NetStats,
+    /// The Observatory value sink (schema is rebuilt by `NetObs::new`).
+    pub obs: ObsSink,
+    /// Pending events in canonical key order.
+    pub events: Vec<(EventKey, FrozenEvent)>,
+    pub nodes: Vec<FrozenNode>,
+    pub links: Vec<FrozenLink>,
+    pub tapped: Vec<bool>,
+}
+
+impl Network {
+    /// Freeze the engine's dynamic state. Non-destructive: the pending
+    /// event set is drained, cloned, and re-scheduled — the canonical key
+    /// order depends only on the key set, so subsequent pops are
+    /// unchanged.
+    ///
+    /// Panics if called while a shard splice is live (mid-sharded-window);
+    /// checkpoints belong at run-call boundaries.
+    pub fn checkpoint(&mut self) -> FrozenNetwork {
+        assert!(
+            self.splice.is_none(),
+            "checkpoint must be taken at a quiescent barrier, not mid-shard-window"
+        );
+        let now = self.queue.now();
+        let drained = self.queue.drain_sorted();
+        let mut events = Vec::with_capacity(drained.len());
+        for (key, event) in &drained {
+            events.push((*key, freeze_event(event)));
+        }
+        // Put the queue back exactly as it was: the drained run is sorted,
+        // so every re-schedule hits the staged-lane fast path.
+        for (key, event) in drained {
+            self.queue.schedule(key, event);
+        }
+        FrozenNetwork {
+            now,
+            seed: self.seed,
+            root_seq: self.root_seq,
+            stats: self.stats,
+            obs: self.obs.sink.clone(),
+            events,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| FrozenNode {
+                    stats: n.stats,
+                    down_windows: n.down_windows.clone(),
+                    forced_down: n.forced_down,
+                })
+                .collect(),
+            links: self.links.iter().map(|l| l.freeze()).collect(),
+            tapped: self.tapped.clone(),
+        }
+    }
+
+    /// Apply a frozen state onto this engine, which must have been rebuilt
+    /// with the same static topology (same node/link counts, same seed).
+    /// Ingress filters are NOT restored here; the owner of each filter
+    /// re-installs it from its own thawed state.
+    pub fn restore(&mut self, frozen: FrozenNetwork) {
+        assert!(self.splice.is_none(), "cannot restore into a live shard splice");
+        assert_eq!(self.nodes.len(), frozen.nodes.len(), "restore onto a different topology");
+        assert_eq!(self.links.len(), frozen.links.len(), "restore onto a different topology");
+        assert_eq!(self.seed, frozen.seed, "restore onto a network built with a different seed");
+        self.root_seq = frozen.root_seq;
+        self.stats = frozen.stats;
+        self.obs.sink = frozen.obs;
+        self.tapped = frozen.tapped;
+        for (node, f) in self.nodes.iter_mut().zip(frozen.nodes) {
+            node.stats = f.stats;
+            node.down_windows = f.down_windows;
+            node.forced_down = f.forced_down;
+        }
+        for (link, f) in self.links.iter_mut().zip(frozen.links) {
+            link.thaw(f);
+        }
+        // Rebuild the pending set into a fresh queue: events are frozen in
+        // canonical order, so each schedule is an O(1) staged append, and
+        // the clock is advanced only after everything is in.
+        let mut queue = EventQueue::new();
+        for (key, event) in frozen.events {
+            queue.schedule(key, thaw_event(event));
+        }
+        queue.set_now(frozen.now);
+        self.queue = queue;
+        self.pool.clear();
+        self.shard_report = None;
+    }
+}
+
+fn freeze_event(event: &Event) -> FrozenEvent {
+    match event {
+        Event::Inject { node, packet } => {
+            FrozenEvent::Inject { node: *node, packet: (**packet).clone() }
+        }
+        Event::TxDone { link, dir } => FrozenEvent::TxDone { link: *link, dir: *dir },
+        Event::Arrive { link, dir, packet } => {
+            FrozenEvent::Arrive { link: *link, dir: *dir, packet: (**packet).clone() }
+        }
+        Event::Timer { token } => FrozenEvent::Timer { token: *token },
+        Event::Chaos { action } => FrozenEvent::Chaos { action: *action },
+    }
+}
+
+fn thaw_event(event: FrozenEvent) -> Event {
+    match event {
+        FrozenEvent::Inject { node, packet } => {
+            Event::Inject { node, packet: Box::new(packet) }
+        }
+        FrozenEvent::TxDone { link, dir } => Event::TxDone { link, dir },
+        FrozenEvent::Arrive { link, dir, packet } => {
+            Event::Arrive { link, dir, packet: Box::new(packet) }
+        }
+        FrozenEvent::Timer { token } => Event::Timer { token },
+        FrozenEvent::Chaos { action } => Event::Chaos { action },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, QueueDiscipline};
+    use crate::lpm::Prefix;
+    use crate::node::{Node, NodeKind};
+    use crate::packet::{GroundTruth, PacketBuilder, Payload};
+    use crate::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    /// h1 -- s1 -- h2 with lossy links, same shape as network.rs tests.
+    fn lossy_net() -> (Network, NodeId) {
+        let mut net = Network::new(77);
+        let h1 = net.push_node(Node::host(NodeId(0), "h1", vec!["10.0.0.1".parse().unwrap()]));
+        let s1 = net.push_node(Node::switch(NodeId(1), "s1"));
+        let h2 = net.push_node(Node::host(NodeId(2), "h2", vec!["10.0.0.2".parse().unwrap()]));
+        let l1 = net.push_link(Link::new(
+            LinkId(0), h1, s1, 50_000_000, SimDuration::from_micros(10),
+            QueueDiscipline::Red {
+                capacity_bytes: 60_000,
+                min_thresh_bytes: 10_000,
+                max_thresh_bytes: 40_000,
+                max_p: 0.3,
+            },
+        ));
+        let l2 = net.push_link(Link::new(
+            LinkId(1), s1, h2, 50_000_000, SimDuration::from_micros(10),
+            QueueDiscipline::DropTail { capacity_bytes: 30_000 },
+        ));
+        if let NodeKind::Host { gateway, .. } = &mut net.nodes[h1.0].kind {
+            *gateway = Some(l1);
+        }
+        if let NodeKind::Host { gateway, .. } = &mut net.nodes[h2.0].kind {
+            *gateway = Some(l2);
+        }
+        net.nodes[s1.0].install_route(Prefix::v4(Ipv4Addr::new(10, 0, 0, 2), 32), l2);
+        net.nodes[s1.0].install_route(Prefix::v4(Ipv4Addr::new(10, 0, 0, 1), 32), l1);
+        net.link_mut(l1).fault.drop_probability = 0.05;
+        net.link_mut(l1).fault.burst =
+            Some(crate::link::GilbertElliott::new(0.02, 0.2, 0.0, 0.6));
+        (net, h1)
+    }
+
+    fn blast(net: &mut Network, h1: NodeId, from_us: u64, n: u64) {
+        let mut b = PacketBuilder::new();
+        for i in 0..n {
+            let pkt = b.udp_v4(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000, 2000, Payload::Synthetic(600), 64, GroundTruth::default(),
+            );
+            net.inject(SimTime::from_micros(from_us + i * 40), h1, pkt);
+        }
+    }
+
+    /// checkpoint() must not perturb the run: continuing after a freeze
+    /// gives the same stats as never freezing.
+    #[test]
+    fn checkpoint_is_non_destructive() {
+        let run_with_freeze = |freeze: bool| {
+            let (mut net, h1) = lossy_net();
+            blast(&mut net, h1, 0, 400);
+            net.run(&mut crate::network::NullHooks, Some(SimTime::from_millis(2)));
+            if freeze {
+                let _ = net.checkpoint();
+            }
+            net.run(&mut crate::network::NullHooks, None);
+            (net.stats, net.obs.render())
+        };
+        assert_eq!(run_with_freeze(false), run_with_freeze(true));
+    }
+
+    /// Freeze mid-run, thaw into a freshly built topology, finish both;
+    /// the thawed engine must match the uninterrupted one byte-for-byte.
+    #[test]
+    fn restore_resumes_identically() {
+        let (mut net, h1) = lossy_net();
+        blast(&mut net, h1, 0, 400);
+        // Leave future stimuli pending across the barrier too.
+        blast(&mut net, h1, 3_000, 100);
+        net.run(&mut crate::network::NullHooks, Some(SimTime::from_millis(2)));
+        let frozen = net.checkpoint();
+
+        // Round-trip the frozen state through its serialized form.
+        let json = serde_json::to_string(&frozen).unwrap();
+        let thawed: FrozenNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(frozen, thawed);
+
+        let (mut fresh, _) = lossy_net();
+        fresh.restore(thawed);
+        assert_eq!(fresh.now(), net.now());
+
+        net.run(&mut crate::network::NullHooks, None);
+        fresh.run(&mut crate::network::NullHooks, None);
+        assert_eq!(net.stats, fresh.stats);
+        assert_eq!(net.obs.render(), fresh.obs.render());
+        assert!(net.stats.injected == 500 && net.stats.delivered > 0);
+    }
+
+    /// Restoring with pending chaos transitions and node/link fault state.
+    #[test]
+    fn restore_carries_fault_state() {
+        let build = || {
+            let (mut net, h1) = lossy_net();
+            blast(&mut net, h1, 0, 200);
+            net.schedule_chaos(SimTime::from_micros(500), ChaosAction::NodeDown(NodeId(1)));
+            net.schedule_chaos(SimTime::from_millis(4), ChaosAction::NodeUp(NodeId(1)));
+            blast(&mut net, h1, 5_000, 50);
+            (net, h1)
+        };
+        let (mut net, _) = build();
+        net.run(&mut crate::network::NullHooks, Some(SimTime::from_millis(1)));
+        let frozen = net.checkpoint();
+        assert!(net.nodes[1].forced_down, "chaos transition must be live at the barrier");
+
+        let (mut fresh, _) = build();
+        // Fresh copy has different pending events (chaos from build());
+        // restore overwrites the whole pending set.
+        fresh.restore(frozen);
+        net.run(&mut crate::network::NullHooks, None);
+        fresh.run(&mut crate::network::NullHooks, None);
+        assert_eq!(net.stats, fresh.stats);
+        assert_eq!(net.obs.render(), fresh.obs.render());
+    }
+}

@@ -65,7 +65,7 @@ pub const CLASS_ARRIVE: u8 = 2;
 /// Two distinct events never compare equal: root seqs are unique within
 /// class 0, and a direction's transmission counter is unique within each
 /// (class, lane).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct EventKey {
     /// Fire time.
     pub time: SimTime,

@@ -56,10 +56,12 @@ pub mod par;
 pub mod shard;
 pub mod topology;
 pub mod chaos;
+pub mod checkpoint;
 
 /// The types most users need, in one import.
 pub mod prelude {
     pub use crate::chaos::{ChaosAction, ChaosConfig, ChaosPlan};
+    pub use crate::checkpoint::{FrozenNetwork, FrozenNode};
     pub use crate::link::{
         Dir, FaultModel, GilbertElliott, LinkId, Outage, QueueDiscipline, RateWindow,
     };

@@ -8,11 +8,11 @@ use rand::Rng;
 
 /// Identifies a link in the network. Links are full-duplex; each direction
 /// has its own transmitter and queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct LinkId(pub usize);
 
 /// Direction of travel on a link: `AtoB` goes from endpoint `a` to `b`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Dir {
     AtoB,
     BtoA,
@@ -37,7 +37,7 @@ impl Dir {
 }
 
 /// Queue discipline configuration for one link direction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum QueueDiscipline {
     /// Tail-drop once the queue holds `capacity_bytes`.
     DropTail { capacity_bytes: usize },
@@ -147,7 +147,7 @@ impl DirQueue {
 }
 
 /// Scheduled outage window during which a link drops everything.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Outage {
     pub from: SimTime,
     pub until: SimTime,
@@ -163,7 +163,7 @@ impl Outage {
 /// A window during which a link's effective rate is degraded — a
 /// "brownout" (failing optics, a duplex mismatch, an overloaded
 /// middlebox). Packets still flow, just slower.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RateWindow {
     pub from: SimTime,
     pub until: SimTime,
@@ -175,7 +175,7 @@ pub struct RateWindow {
 /// good state (near-lossless) and a bad state (heavy loss), with per-packet
 /// transition probabilities. Real flapping links lose packets in bursts,
 /// which stresses detectors very differently from independent loss.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GilbertElliott {
     /// P(good → bad) evaluated per packet.
     pub p_enter_bad: f64,
@@ -240,7 +240,7 @@ impl GilbertElliott {
 }
 
 /// Random fault behaviour of a link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultModel {
     /// Independent per-packet loss probability.
     pub drop_probability: f64,
@@ -319,7 +319,7 @@ impl FaultModel {
 }
 
 /// Per-direction transmit statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DirStats {
     pub tx_packets: u64,
     pub tx_bytes: u64,
@@ -546,6 +546,77 @@ impl Link {
         let i = dir.index();
         self.queues[i] = std::mem::replace(&mut other.queues[i], DirQueue::new(self.queues[i].discipline));
         self.stats[i] = other.stats[i];
+    }
+
+    /// Capture every bit of this link's dynamic state (fault model, both
+    /// direction queues with their private RNG streams, stats) for a
+    /// checkpoint. Queued packets are cloned; the link is unchanged.
+    pub fn freeze(&self) -> FrozenLink {
+        FrozenLink {
+            fault: self.fault.clone(),
+            stats: self.stats,
+            dirs: [self.queues[0].freeze(), self.queues[1].freeze()],
+        }
+    }
+
+    /// Restore dynamic state captured by [`Link::freeze`] onto this link,
+    /// which must have been rebuilt with the same static topology.
+    pub fn thaw(&mut self, frozen: FrozenLink) {
+        self.fault = frozen.fault;
+        self.stats = frozen.stats;
+        let [d0, d1] = frozen.dirs;
+        self.queues[0].thaw(d0);
+        self.queues[1].thaw(d1);
+    }
+}
+
+/// Serializable snapshot of one direction's queue: discipline, queued
+/// packets with their enqueue stamps, RED average, transmitter horizon,
+/// the exact RNG stream position, live burst-channel state, and the
+/// transmission sequence counter.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrozenDirQueue {
+    pub discipline: QueueDiscipline,
+    pub packets: Vec<(Packet, SimTime)>,
+    pub bytes: usize,
+    pub avg_bytes: f64,
+    pub busy_until: SimTime,
+    pub rng: [u64; 4],
+    pub burst: Option<GilbertElliott>,
+    pub tx_seq: u64,
+}
+
+/// Serializable snapshot of a link's full dynamic state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrozenLink {
+    pub fault: FaultModel,
+    pub stats: [DirStats; 2],
+    pub dirs: [FrozenDirQueue; 2],
+}
+
+impl DirQueue {
+    fn freeze(&self) -> FrozenDirQueue {
+        FrozenDirQueue {
+            discipline: self.discipline,
+            packets: self.packets.iter().map(|(p, t)| ((**p).clone(), *t)).collect(),
+            bytes: self.bytes,
+            avg_bytes: self.avg_bytes,
+            busy_until: self.busy_until,
+            rng: self.rng.state(),
+            burst: self.burst.clone(),
+            tx_seq: self.tx_seq,
+        }
+    }
+
+    fn thaw(&mut self, f: FrozenDirQueue) {
+        self.discipline = f.discipline;
+        self.packets = f.packets.into_iter().map(|(p, t)| (Box::new(p), t)).collect();
+        self.bytes = f.bytes;
+        self.avg_bytes = f.avg_bytes;
+        self.busy_until = f.busy_until;
+        self.rng = StdRng::from_state(f.rng);
+        self.burst = f.burst;
+        self.tx_seq = f.tx_seq;
     }
 }
 

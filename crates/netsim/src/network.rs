@@ -35,7 +35,7 @@ pub enum DropReason {
 }
 
 /// Aggregate simulation counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NetStats {
     pub injected: u64,
     pub delivered: u64,

@@ -8,7 +8,7 @@ use crate::time::SimTime;
 use std::net::IpAddr;
 
 /// Identifies a node in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct NodeId(pub usize);
 
 /// The verdict of an ingress packet program.
@@ -46,7 +46,7 @@ pub enum NodeKind {
 }
 
 /// Per-node counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct NodeStats {
     /// Packets delivered to this node as final destination.
     pub received: u64,

@@ -21,7 +21,7 @@ use std::sync::Arc;
 /// real network never gives you, and the datastore stores them separately
 /// from the packet bytes exactly so experiments can measure how well models
 /// recover them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct GroundTruth {
     /// Flow this packet belongs to (generator-assigned).
     pub flow_id: u64,
@@ -39,7 +39,7 @@ impl GroundTruth {
 }
 
 /// Network-layer header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum NetworkHeader {
     V4(Ipv4Repr),
     V6(Ipv6Repr),
@@ -108,7 +108,7 @@ impl NetworkHeader {
 }
 
 /// Transport-layer header.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TransportHeader {
     Udp(UdpRepr),
     Tcp(TcpRepr),
@@ -165,6 +165,42 @@ impl From<Vec<u8>> for Payload {
     }
 }
 
+// Hand-rolled (the derive cannot thaw `Arc<[u8]>`), shaped exactly like the
+// enum derive output so checkpoint payloads stay format-uniform.
+impl serde::Serialize for Payload {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Payload::Bytes(b) => {
+                out.push_str("{\"Bytes\":");
+                b[..].serialize_json(out);
+                out.push('}');
+            }
+            Payload::Synthetic(n) => {
+                out.push_str("{\"Synthetic\":");
+                n.serialize_json(out);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for Payload {
+    fn deserialize_json(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let pairs = v.as_object()?;
+        if pairs.len() != 1 {
+            return Err(serde::json::Error::new("expected single-variant payload object"));
+        }
+        match pairs[0].0.as_str() {
+            "Bytes" => {
+                let bytes: Vec<u8> = serde::Deserialize::deserialize_json(&pairs[0].1)?;
+                Ok(Payload::Bytes(bytes.into()))
+            }
+            "Synthetic" => Ok(Payload::Synthetic(serde::Deserialize::deserialize_json(&pairs[0].1)?)),
+            _ => Err(serde::json::Error::new("unknown payload variant")),
+        }
+    }
+}
+
 impl Payload {
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
@@ -206,7 +242,7 @@ pub fn clone_count() -> u64 {
 }
 
 /// A packet in flight through the simulated campus network.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Packet {
     /// Globally unique id, assigned at injection.
     pub id: u64,

@@ -59,9 +59,35 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Hand-rolled and table-free so every durability layer (checkpoint
+/// envelopes, WAL record frames, segment manifests) shares one checksum
+/// with zero dependencies. Throughput is irrelevant at the sizes involved;
+/// bit-exactness across platforms is what matters.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
-    use super::json_escape;
+    use super::{crc32, json_escape};
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"), "single-byte change must move the sum");
+    }
 
     #[test]
     fn json_escape_handles_specials() {

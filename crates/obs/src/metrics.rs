@@ -62,6 +62,41 @@ pub struct Histogram {
     sum: u128,
 }
 
+// Hand-rolled (the derive cannot thaw `Box<[u64]>`), shaped exactly like
+// the named-struct derive output so checkpoints stay format-uniform.
+impl serde::Serialize for Histogram {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\":");
+        self.bounds[..].serialize_json(out);
+        out.push_str(",\"counts\":");
+        self.counts[..].serialize_json(out);
+        out.push_str(",\"count\":");
+        self.count.serialize_json(out);
+        out.push_str(",\"sum\":");
+        self.sum.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for Histogram {
+    fn deserialize_json(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let pairs = v.as_object()?;
+        let bounds: Vec<u64> = serde::Deserialize::deserialize_json(serde::json::field(pairs, "bounds")?)?;
+        let counts: Vec<u64> = serde::Deserialize::deserialize_json(serde::json::field(pairs, "counts")?)?;
+        let count: u64 = serde::Deserialize::deserialize_json(serde::json::field(pairs, "count")?)?;
+        let sum: u128 = serde::Deserialize::deserialize_json(serde::json::field(pairs, "sum")?)?;
+        if counts.len() != bounds.len() + 1 || !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(serde::json::Error::new("histogram shape invariant violated"));
+        }
+        Ok(Histogram {
+            bounds: bounds.into_boxed_slice(),
+            counts: counts.into_boxed_slice(),
+            count,
+            sum,
+        })
+    }
+}
+
 impl Histogram {
     /// Build an empty histogram. `bounds` must be strictly increasing;
     /// the `+Inf` bucket is implicit.
@@ -290,7 +325,7 @@ impl Registry {
 ///
 /// Cloneable and `Send`: parallel runners give each worker its own sink
 /// and fold them back with [`ObsSink::merge_from`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ObsSink {
     counters: Vec<u64>,
     gauges: Vec<i64>,

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 pub const OPEN_END: u64 = u64::MAX;
 
 /// One traced interval, in sim-time nanoseconds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Span {
     /// Monotonic per-tracer sequence number, assigned at open.
     pub seq: u64,
@@ -41,8 +41,22 @@ impl Span {
 #[must_use = "open spans should be closed"]
 pub struct OpenSpan(usize);
 
+impl OpenSpan {
+    /// Index of the underlying span, for checkpointing a handle that is
+    /// still open at a freeze barrier.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Rebuild a handle from an index captured by [`OpenSpan::index`].
+    /// Only meaningful against the same tracer state it was frozen from.
+    pub fn from_index(i: usize) -> OpenSpan {
+        OpenSpan(i)
+    }
+}
+
 /// An append-only span log with a deterministic sequence counter.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Tracer {
     spans: Vec<Span>,
     seq: u64,

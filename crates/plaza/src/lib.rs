@@ -36,4 +36,6 @@ pub mod service;
 pub mod tenant;
 
 pub use service::{Plaza, PlazaConfig, PlazaReport, TenantRecord};
-pub use tenant::{TenantJob, TenantOutcome, TenantSlice, TenantSpec};
+pub use tenant::{
+    FrozenJob, FrozenSlice, SliceFreezeError, TenantJob, TenantOutcome, TenantSlice, TenantSpec,
+};

@@ -22,9 +22,9 @@
 
 use campuslab_capture::{BorderTapHooks, PacketRecord};
 use campuslab_control::{
-    BankFilter, BankHandle, FastLoopStatsSnapshot, MitigationController,
-    MitigationControllerConfig, PlazaObs, RolloutConfig, RolloutEvent, RolloutGuard, RolloutStage,
-    SloPolicy,
+    BankFilter, BankHandle, FastLoopStatsSnapshot, FrozenBank, FrozenController,
+    MitigationController, MitigationControllerConfig, PlazaObs, RolloutConfig, RolloutEvent,
+    RolloutGuard, RolloutStage, SloPolicy,
 };
 use campuslab_dataplane::{
     Action, FieldExtractor, PipelineProgram, SwitchModel, TableEntry, TenantDemand, TernaryMatch,
@@ -33,11 +33,13 @@ use campuslab_dataplane::{
 use campuslab_datastore::DataStore;
 use campuslab_ml::DecisionTree;
 use campuslab_netsim::{
-    Campus, ChaosPlan, Commands, Dir, DropReason, LinkId, NetStats, Network, NodeId, Packet,
-    SimDuration, SimHooks, SimTime,
+    Campus, ChaosPlan, Commands, Dir, DropReason, FrozenNetwork, LinkId, NetStats, Network, NodeId,
+    Packet, SimDuration, SimHooks, SimTime,
 };
 use campuslab_obs::Tracer;
-use campuslab_testbed::{build_schedule, canary_hosts, GuardedHooks, RunObs, Scenario};
+use campuslab_testbed::{
+    build_schedule, canary_hosts, FrozenGuardedHooks, GuardedHooks, RunObs, Scenario,
+};
 use std::net::Ipv4Addr;
 
 /// What the tenant wants to run on its slice of the campus.
@@ -351,6 +353,53 @@ impl TenantSlice {
         };
     }
 
+    /// Freeze this slice's dynamic state at a window barrier — the
+    /// per-tenant leg of the PhoenixRun checkpoint (DESIGN.md §15). The
+    /// frozen image captures only what evolved since [`TenantSlice::build`]
+    /// (simulator, filter bank, job state machines, grid bookkeeping);
+    /// restoring it onto a fresh slice built from the *same spec* resumes
+    /// byte-identically. Capture slices are refused with a typed error:
+    /// the border monitor's mid-run state (flow table, DNS extractor, RTT
+    /// estimator, pcap writer) is deliberately outside the checkpoint
+    /// contract.
+    pub fn freeze(&mut self) -> Result<FrozenSlice, SliceFreezeError> {
+        if self.hooks.monitor.is_some() {
+            return Err(SliceFreezeError::CaptureMonitor);
+        }
+        let job = match &self.hooks.job {
+            JobHooks::Idle => FrozenJob::Idle,
+            JobHooks::Defend(c) => FrozenJob::Defend(Box::new(c.freeze())),
+            JobHooks::Guarded(g) => FrozenJob::Guarded(Box::new(g.freeze())),
+        };
+        Ok(FrozenSlice {
+            net: self.net.checkpoint(),
+            bank: self.handle.freeze(),
+            job,
+            horizon: self.horizon,
+            rounds: self.rounds,
+            done: self.done,
+        })
+    }
+
+    /// Apply a frozen image onto this freshly built slice. The slice must
+    /// have been built from the same [`TenantSpec`] that produced the
+    /// image; a job-shape mismatch (the image froze a different job kind)
+    /// is refused with a typed error rather than silently misapplied.
+    pub fn thaw_state(&mut self, frozen: FrozenSlice) -> Result<(), SliceFreezeError> {
+        match (&mut self.hooks.job, frozen.job) {
+            (JobHooks::Idle, FrozenJob::Idle) => {}
+            (JobHooks::Defend(c), FrozenJob::Defend(f)) => c.thaw_state(*f),
+            (JobHooks::Guarded(g), FrozenJob::Guarded(f)) => g.thaw_state(*f),
+            _ => return Err(SliceFreezeError::JobMismatch),
+        }
+        self.net.restore(frozen.net);
+        self.handle.thaw(frozen.bank);
+        self.horizon = frozen.horizon;
+        self.rounds = frozen.rounds;
+        self.done = frozen.done;
+        Ok(())
+    }
+
     /// Drive the slice over its own window grid until done — byte-for-byte
     /// the schedule an interleaving plaza produces, minus the neighbors.
     pub fn run_to_completion(&mut self) {
@@ -459,6 +508,56 @@ impl TenantSlice {
             },
         }
     }
+}
+
+/// Why a slice could not be frozen or thawed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceFreezeError {
+    /// The slice captures at the border: the monitor's mid-run state is
+    /// deliberately not checkpointable (DESIGN.md §15), so capture
+    /// tenants restart their run instead of resuming it.
+    CaptureMonitor,
+    /// The frozen image's job shape disagrees with the slice it is being
+    /// applied to — the spec that built the slice is not the spec that
+    /// produced the image.
+    JobMismatch,
+}
+
+impl std::fmt::Display for SliceFreezeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceFreezeError::CaptureMonitor => {
+                write!(f, "capture slices are not checkpointable (border monitor state)")
+            }
+            SliceFreezeError::JobMismatch => {
+                write!(f, "frozen job shape does not match the slice's spec")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceFreezeError {}
+
+/// The frozen job half of a [`FrozenSlice`].
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub enum FrozenJob {
+    Idle,
+    Defend(Box<FrozenController>),
+    Guarded(Box<FrozenGuardedHooks>),
+}
+
+/// One tenant slice's dynamic state, frozen at a window barrier. Only
+/// state that evolved since [`TenantSlice::build`] is carried; the static
+/// half (topology, schedule, chaos plan, job wiring) is rebuilt from the
+/// tenant's [`TenantSpec`] on the restore side.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenSlice {
+    pub net: FrozenNetwork,
+    pub bank: FrozenBank,
+    pub job: FrozenJob,
+    pub horizon: SimTime,
+    pub rounds: u64,
+    pub done: bool,
 }
 
 /// Split a capture into per-second batches, the unit the datastore's
@@ -638,6 +737,104 @@ mod tests {
             submissions: vec![(SimTime::from_secs(1), discard_sentinel("extra"))],
         };
         assert_eq!(spec.demand(&sw).tcam_entries, 4_097);
+    }
+
+    /// A probe slice whose own campus takes a border-link flap mid-run —
+    /// the bad neighbor the restored slice must not notice.
+    fn chaos_neighbor_slice() -> TenantSlice {
+        let mut spec = TenantSpec::probe("gremlin");
+        let campus = Campus::build(spec.scenario.campus.clone());
+        let mut plan = ChaosPlan::new();
+        plan.link_flap(campus.border_link, SimTime::from_millis(600), SimTime::from_millis(1400));
+        spec.chaos = Some(plan);
+        TenantSlice::build(
+            spec,
+            &SwitchModel::default(),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(4),
+        )
+    }
+
+    /// The plaza leg of the PhoenixRun contract: crash a tenant three
+    /// windows in, carry its frozen image through JSON (the checkpoint
+    /// payload encoding), restore it in a "new process" next to a
+    /// chaos-running neighbor, and finish both interleaved on the shared
+    /// grid. The resumed tenant's fingerprint must match its solo
+    /// uninterrupted run byte for byte.
+    #[test]
+    fn frozen_slice_resumes_byte_identically_next_to_a_chaos_neighbor() {
+        let build = || {
+            TenantSlice::build(
+                TenantSpec::probe("phx"),
+                &SwitchModel::default(),
+                SimDuration::from_millis(500),
+                SimDuration::from_secs(4),
+            )
+        };
+        let mut solo = build();
+        solo.run_to_completion();
+        let want = solo.finish().fingerprint();
+
+        let step = 500_000_000u64;
+        let mut victim = build();
+        for r in 1..=3 {
+            victim.advance(SimTime(step * r));
+        }
+        let image = serde_json::to_string(&victim.freeze().unwrap()).unwrap();
+        drop(victim); // the "crash"
+
+        let frozen: FrozenSlice = serde_json::from_str(&image).unwrap();
+        let mut restored = build();
+        restored.thaw_state(frozen).unwrap();
+        let mut neighbor = chaos_neighbor_slice();
+        let mut r = 3u64;
+        while !restored.is_done() || !neighbor.is_done() {
+            r += 1;
+            neighbor.advance(SimTime(step * r));
+            restored.advance(SimTime(step * r));
+        }
+        let got = restored.finish().fingerprint();
+        assert_eq!(got, want);
+        let n = neighbor.finish();
+        assert!(n.net.dropped_fault > 0, "the neighbor's chaos flap dropped nothing");
+    }
+
+    #[test]
+    fn capture_slices_refuse_to_freeze_with_a_typed_error() {
+        let mut spec = TenantSpec::probe("cap-freeze");
+        spec.capture = true;
+        let mut slice = TenantSlice::build(
+            spec,
+            &SwitchModel::default(),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(4),
+        );
+        assert_eq!(slice.freeze().err(), Some(SliceFreezeError::CaptureMonitor));
+    }
+
+    #[test]
+    fn job_shape_mismatch_is_refused_on_thaw() {
+        use campuslab_ml::{Dataset, TreeConfig};
+        let mut idle = TenantSlice::build(
+            TenantSpec::probe("idle"),
+            &SwitchModel::default(),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(4),
+        );
+        let image = idle.freeze().unwrap();
+        let mut spec = TenantSpec::probe("defend");
+        spec.job = TenantJob::Defend;
+        spec.window_model = Some(DecisionTree::fit(
+            &Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1], vec!["f".into()]),
+            TreeConfig::shallow(1),
+        ));
+        let mut defend = TenantSlice::build(
+            spec,
+            &SwitchModel::default(),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(4),
+        );
+        assert_eq!(defend.thaw_state(image).err(), Some(SliceFreezeError::JobMismatch));
     }
 
     #[test]

@@ -11,19 +11,16 @@
 
 use crate::observe::RunObs;
 use crate::roadtest::RoadTestConfig;
-use crate::rollout::canary_hosts;
-use crate::scenario::{build_schedule, Scenario};
+use crate::scenario::Scenario;
 use campuslab_control::{
-    BankFilter, DriftEpisode, DriftPilot, DriftPilotConfig, MitigationController,
-    MitigationControllerConfig, RetrainRecord, RolloutConfig, RolloutEvent, RolloutGuard,
-    SloPolicy, TeacherKind,
+    DriftEpisode, DriftPilot, DriftPilotConfig, FrozenController, FrozenDriftPilot, FrozenGuard,
+    MitigationController, RetrainRecord, RolloutEvent, RolloutGuard, SloPolicy, TeacherKind,
 };
-use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_dataplane::PipelineProgram;
 use campuslab_ml::{Classifier, ForestConfig};
 use campuslab_netsim::{
-    Campus, Commands, Dir, DropReason, LinkId, NodeId, Packet, SimDuration, SimHooks, SimTime,
+    Commands, Dir, DropReason, LinkId, NodeId, Packet, SimDuration, SimHooks, SimTime,
 };
-use campuslab_obs::Tracer;
 use std::net::Ipv4Addr;
 
 /// Parameters of a drift road test.
@@ -134,6 +131,46 @@ impl DriftHooks {
         // The submissions themselves appended Submitted/Rejected events.
         self.forward_guard_events();
     }
+
+    /// Snapshot the three layers' dynamic state plus the evidence-sync
+    /// cursors between them, for a [`crate::phoenix`] checkpoint. The
+    /// cursors matter: a restored stack must neither replay controller
+    /// episodes the guard already counted as TTM samples nor re-deliver
+    /// guard verdicts the pilot already acted on.
+    pub fn freeze(&self) -> FrozenDriftHooks {
+        FrozenDriftHooks {
+            guard: self.guard.freeze(),
+            controller: self.controller.freeze(),
+            pilot: self.pilot.freeze(),
+            seen_ctl_events: self.seen_ctl_events,
+            seen_ctl_giveups: self.seen_ctl_giveups,
+            seen_guard_events: self.seen_guard_events,
+        }
+    }
+
+    /// Apply a frozen snapshot onto a freshly built stack (same scenario,
+    /// same configs, same bank handle). Counterpart of
+    /// [`DriftHooks::freeze`].
+    pub fn thaw_state(&mut self, frozen: FrozenDriftHooks) {
+        self.guard.thaw_state(frozen.guard);
+        self.controller.thaw_state(frozen.controller);
+        self.pilot.thaw_state(frozen.pilot);
+        self.seen_ctl_events = frozen.seen_ctl_events;
+        self.seen_ctl_giveups = frozen.seen_ctl_giveups;
+        self.seen_guard_events = frozen.seen_guard_events;
+    }
+}
+
+/// Checkpoint mirror of [`DriftHooks`]: guard, controller and pilot frozen
+/// state plus the three evidence-sync cursors.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenDriftHooks {
+    pub guard: FrozenGuard,
+    pub controller: FrozenController,
+    pub pilot: FrozenDriftPilot,
+    pub seen_ctl_events: usize,
+    pub seen_ctl_giveups: usize,
+    pub seen_guard_events: usize,
 }
 
 impl SimHooks for DriftHooks {
@@ -240,94 +277,11 @@ pub fn drift_road_test(
     window_model: Box<dyn Classifier + Send>,
     cfg: DriftRunConfig,
 ) -> DriftRunOutcome {
-    let campus = Campus::build(scenario.campus.clone());
-    let (mut schedule, victim, attack_start) = build_schedule(&campus, scenario);
-    let cohort = canary_hosts(&campus, cfg.canary_fraction);
-    let mut net = campus.net;
-    schedule.apply_to(&mut net);
-    if let Some(plan) = &cfg.road.chaos {
-        plan.apply_to(&mut net);
-    }
-
-    let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
-    let (bank, handle) = BankFilter::new(extractor.clone());
-    net.install_filter(campus.border, bank);
-
-    let guard = RolloutGuard::new(
-        RolloutConfig {
-            tap: campus.border_link,
-            extractor,
-            slo: cfg.slo.clone(),
-            canary_hosts: cohort,
-            tap_blackouts: cfg.road.tap_blackouts.clone(),
-            submissions: Vec::new(),
-        },
-        known_good.clone(),
-        handle.clone(),
-    );
-    let controller = MitigationController::new(
-        MitigationControllerConfig {
-            tap: campus.border_link,
-            placement: cfg.road.placement,
-            gate: cfg.road.gate,
-            window_ns: cfg.road.window_ns,
-            min_packets: cfg.road.min_packets,
-            program: known_good.clone(),
-            install: cfg.road.install.clone(),
-            tap_blackouts: cfg.road.tap_blackouts.clone(),
-        },
-        window_model,
-        handle.clone(),
-    );
-    let pilot = DriftPilot::new(DriftPilotConfig {
-        tap: campus.border_link,
-        deployed_fingerprint: known_good.fingerprint(),
-        ..cfg.pilot
-    });
-
-    let mut hooks = DriftHooks::new(guard, controller, pilot);
-    // An always-on pipeline has no natural drain point: a candidate
-    // submitted just before traffic ends would leave the guard evaluating
-    // inconclusive empty windows forever. Cap the run at the workload
-    // span plus the configured settling margin — a deterministic sim-time
-    // bound, identical under every executor.
-    let deadline = SimTime::ZERO + scenario.workload.duration + cfg.settle;
-    net.run(&mut hooks, Some(deadline));
-
-    let mut tracer = Tracer::new();
-    let end_ns = net.now().as_nanos();
-    tracer.record("drift-roadtest".to_string(), 0, end_ns);
-    let (controller_obs, detector_obs) = hooks.controller.take_obs();
-    tracer.merge_from(&controller_obs.tracer);
-    let rollout_obs = hooks.guard.take_obs();
-    tracer.merge_from(&rollout_obs.tracer);
-    let drift_obs = hooks.pilot.take_obs();
-    tracer.merge_from(&drift_obs.tracer);
-
-    let filter = handle.stats();
-    DriftRunOutcome {
-        episodes: std::mem::take(&mut hooks.pilot.episodes),
-        retrains: std::mem::take(&mut hooks.pilot.retrains),
-        events: std::mem::take(&mut hooks.guard.events),
-        final_deployed: hooks.pilot.deployed_fingerprint(),
-        registry_len: hooks.guard.registry().len(),
-        filter,
-        net: net.stats,
-        victim,
-        attack_start,
-        obs: RunObs {
-            net: net.obs,
-            capture: None,
-            detector: Some(detector_obs),
-            controller: Some(controller_obs),
-            filter: Some(filter),
-            tracer,
-            rollout: Some(rollout_obs),
-            resolver: None,
-            drift: Some(drift_obs),
-            plaza: None,
-        },
-    }
+    // The uninterrupted special case of a resumable session: build, one
+    // capped run straight to the deadline inside `finish`. E19's CrashCart
+    // pins the other cases (stop at any barrier, checkpoint, resume) to
+    // this one's fingerprint.
+    crate::phoenix::DriftSession::new(scenario, known_good, window_model, cfg).finish()
 }
 
 #[cfg(test)]

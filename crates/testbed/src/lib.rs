@@ -45,13 +45,20 @@ pub mod crosscampus;
 pub mod trust;
 pub mod chaos_sweep;
 pub mod driftpilot;
+pub mod phoenix;
 
 pub use chaos_sweep::{
     chaos_road_test_config, chaos_sweep, chaos_sweep_observed, ChaosPoint, ChaosSweepConfig,
 };
 pub use crosscampus::{cross_campus, cross_campus_observed, CampusSite, CrossCampusResult};
-pub use driftpilot::{drift_road_test, DriftHooks, DriftRunConfig, DriftRunOutcome};
+pub use driftpilot::{
+    drift_road_test, DriftHooks, DriftRunConfig, DriftRunOutcome, FrozenDriftHooks,
+};
 pub use hooks::Duo;
+pub use phoenix::{
+    decode_checkpoint, encode_checkpoint, fingerprint, CrashCart, DriftSession, Fingerprint,
+    PhoenixCheckpoint, PhoenixError, PHOENIX_MAGIC, PHOENIX_VERSION,
+};
 pub use observe::RunObs;
 pub use roadtest::{
     deployment_decision, road_test, DeploymentDecision, GateCriteria, RoadTestConfig,
@@ -61,7 +68,8 @@ pub use resolverlab::{
     resolver_actor, resolver_run, GuardedResolver, ResolverRunConfig, ResolverRunOutcome,
 };
 pub use rollout::{
-    canary_hosts, guarded_road_test, GuardedHooks, GuardedRunConfig, GuardedRunOutcome,
+    canary_hosts, guarded_road_test, FrozenGuardedHooks, GuardedHooks, GuardedRunConfig,
+    GuardedRunOutcome,
 };
 pub use scenario::{build_schedule, build_store, collect, AttackScenario, CollectedData, Scenario};
 pub use trust::{expected_features, trust_report, AuditedDecision, TrustReport};

@@ -1,0 +1,663 @@
+//! PhoenixRun (experiment E19): crash-fault tolerance for the always-on
+//! drift pipeline. A [`DriftSession`] is a resumable drift road test —
+//! the same guard + controller + pilot stack as
+//! [`crate::driftpilot::drift_road_test`], but advanced window by window
+//! so a [`PhoenixCheckpoint`] can be taken at any quiescent barrier
+//! (between two `run_until` calls no event is mid-dispatch and no shard
+//! splice is live).
+//!
+//! The recovery contract, pinned by the CrashCart harness below and by
+//! `tests/phoenix_diff.rs`: kill the process at *any* checkpoint
+//! boundary, restore the checkpoint into a freshly built session, resume
+//! over the remaining window grid — and the outcome fingerprint
+//! (timeline, Prometheus dump, trace JSON) is byte-for-byte the
+//! uninterrupted run's.
+//!
+//! What a checkpoint captures: the simulator's frozen mirror (event
+//! queue, per-link RNG and Gilbert-Elliott fault streams, node/link
+//! state, pending chaos), the three control hooks' frozen mirrors
+//! (detector window, rollout ladder + cooldowns + shadow mirror, pilot
+//! windows/sketches/outbox, circuit breaker, open trace spans, obs
+//! sinks), the shared filter bank, and the evidence-sync cursors between
+//! the hooks. What it deliberately does **not** capture: anything
+//! rebuilt deterministically by [`DriftSession::new`] from the same
+//! arguments — topology, schedules, configs, the trained window model,
+//! metric registries (schema), and the packet clone-counter (a
+//! process-global debugging statistic with no behavioral effect).
+
+use crate::driftpilot::{DriftHooks, DriftRunConfig, DriftRunOutcome, FrozenDriftHooks};
+use crate::observe::RunObs;
+use crate::rollout::canary_hosts;
+use crate::scenario::{build_schedule, Scenario};
+use campuslab_control::{
+    BankFilter, BankHandle, DriftPilot, DriftPilotConfig, FrozenBank, MitigationController,
+    MitigationControllerConfig, RolloutConfig, RolloutGuard,
+};
+use campuslab_dataplane::{FieldExtractor, PipelineProgram};
+use campuslab_ml::Classifier;
+use campuslab_netsim::{FrozenNetwork, Network, SimDuration, SimTime};
+use campuslab_obs::{crc32, Tracer};
+use std::net::Ipv4Addr;
+
+/// Checkpoint format version. Bumped on any change to the frozen-state
+/// layout; a decoder seeing an unknown version reports
+/// [`PhoenixError::VersionSkew`] instead of guessing.
+pub const PHOENIX_VERSION: u32 = 1;
+
+/// Envelope magic: the first four bytes of every encoded checkpoint.
+pub const PHOENIX_MAGIC: [u8; 4] = *b"PHNX";
+
+/// Fixed envelope header size: magic + version + payload length + crc32.
+const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+
+/// The outcome fingerprint the recovery contract is stated over: the
+/// sim-ordered timeline, the Prometheus dump, and the trace JSON.
+pub type Fingerprint = (String, String, String);
+
+/// Fingerprint a finished run the way E17's determinism test does.
+pub fn fingerprint(outcome: &DriftRunOutcome) -> Fingerprint {
+    (outcome.timeline(), outcome.obs.prom(), outcome.obs.trace_json())
+}
+
+/// Everything a fresh process needs to resume a drift session, given the
+/// same [`DriftSession::new`] arguments: the frozen simulator, the frozen
+/// hook stack, and the shared filter bank.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct PhoenixCheckpoint {
+    pub net: FrozenNetwork,
+    pub hooks: FrozenDriftHooks,
+    pub bank: FrozenBank,
+}
+
+/// Typed decode failures. Every malformed input maps to one of these —
+/// the decoder never panics, whatever the bytes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PhoenixError {
+    /// Fewer bytes than the fixed header, or than the header promised.
+    Truncated { expected: u64, got: u64 },
+    /// The first four bytes are not `PHNX`.
+    BadMagic { found: [u8; 4] },
+    /// A version this decoder does not speak.
+    VersionSkew { found: u32, supported: u32 },
+    /// Payload bytes do not hash to the header's checksum: torn write or
+    /// bit flip. Recovery: discard and fall back to an older checkpoint.
+    Checksum { expected: u32, found: u32 },
+    /// Checksum held but the payload is not a valid checkpoint document
+    /// (an encoder bug, not storage corruption).
+    Payload { detail: String },
+}
+
+impl std::fmt::Display for PhoenixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhoenixError::Truncated { expected, got } => {
+                write!(f, "checkpoint truncated: expected {expected} bytes, got {got}")
+            }
+            PhoenixError::BadMagic { found } => write!(f, "bad checkpoint magic {found:02x?}"),
+            PhoenixError::VersionSkew { found, supported } => {
+                write!(f, "checkpoint version {found} (this build supports {supported})")
+            }
+            PhoenixError::Checksum { expected, found } => {
+                write!(f, "checkpoint checksum mismatch: header {expected:08x}, payload {found:08x}")
+            }
+            PhoenixError::Payload { detail } => write!(f, "checkpoint payload invalid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PhoenixError {}
+
+/// Serialize a checkpoint into its durable envelope:
+/// `PHNX | version u32 LE | payload_len u64 LE | crc32 u32 LE | payload`.
+pub fn encode_checkpoint(cp: &PhoenixCheckpoint) -> Vec<u8> {
+    let payload = serde_json::to_string(cp).expect("in-memory serialization").into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&PHOENIX_MAGIC);
+    out.extend_from_slice(&PHOENIX_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode an envelope produced by [`encode_checkpoint`]. Total function:
+/// every byte string returns `Ok` or a typed [`PhoenixError`], never a
+/// panic — truncation, bit flips and version skew are all routine inputs
+/// after a crash.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<PhoenixCheckpoint, PhoenixError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(PhoenixError::Truncated {
+            expected: HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("fixed slice");
+    if magic != PHOENIX_MAGIC {
+        return Err(PhoenixError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("fixed slice"));
+    if version != PHOENIX_VERSION {
+        return Err(PhoenixError::VersionSkew { found: version, supported: PHOENIX_VERSION });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("fixed slice"));
+    let expected_total = (HEADER_LEN as u64).saturating_add(payload_len);
+    if (bytes.len() as u64) < expected_total {
+        return Err(PhoenixError::Truncated { expected: expected_total, got: bytes.len() as u64 });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("fixed slice"));
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(PhoenixError::Checksum { expected: stored_crc, found: actual_crc });
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| PhoenixError::Payload { detail: e.to_string() })?;
+    serde_json::from_str(text).map_err(|e| PhoenixError::Payload { detail: format!("{e:?}") })
+}
+
+/// A drift road test that can stop, checkpoint, and resume. Building one
+/// runs nothing; drive it with [`DriftSession::run_until`] and tear it
+/// down with [`DriftSession::finish`]. Two sessions built from equal
+/// arguments are interchangeable restore targets: everything not in the
+/// checkpoint is a deterministic function of the arguments.
+pub struct DriftSession {
+    net: Network,
+    hooks: DriftHooks,
+    handle: BankHandle,
+    victim: Option<Ipv4Addr>,
+    attack_start: Option<SimTime>,
+    deadline: SimTime,
+}
+
+impl DriftSession {
+    /// Build the campus, schedule, chaos plan, filter bank and the
+    /// guard + controller + pilot stack — exactly the setup of
+    /// [`crate::driftpilot::drift_road_test`], which is this constructor
+    /// plus a single `run_until(deadline)`.
+    pub fn new(
+        scenario: &Scenario,
+        known_good: PipelineProgram,
+        window_model: Box<dyn Classifier + Send>,
+        cfg: DriftRunConfig,
+    ) -> Self {
+        let campus = campuslab_netsim::Campus::build(scenario.campus.clone());
+        let (mut schedule, victim, attack_start) = build_schedule(&campus, scenario);
+        let cohort = canary_hosts(&campus, cfg.canary_fraction);
+        let mut net = campus.net;
+        schedule.apply_to(&mut net);
+        if let Some(plan) = &cfg.road.chaos {
+            plan.apply_to(&mut net);
+        }
+
+        let extractor = FieldExtractor::new(scenario.campus.campus_prefix());
+        let (bank, handle) = BankFilter::new(extractor.clone());
+        net.install_filter(campus.border, bank);
+
+        let guard = RolloutGuard::new(
+            RolloutConfig {
+                tap: campus.border_link,
+                extractor,
+                slo: cfg.slo.clone(),
+                canary_hosts: cohort,
+                tap_blackouts: cfg.road.tap_blackouts.clone(),
+                submissions: Vec::new(),
+            },
+            known_good.clone(),
+            handle.clone(),
+        );
+        let controller = MitigationController::new(
+            MitigationControllerConfig {
+                tap: campus.border_link,
+                placement: cfg.road.placement,
+                gate: cfg.road.gate,
+                window_ns: cfg.road.window_ns,
+                min_packets: cfg.road.min_packets,
+                program: known_good.clone(),
+                install: cfg.road.install.clone(),
+                tap_blackouts: cfg.road.tap_blackouts.clone(),
+            },
+            window_model,
+            handle.clone(),
+        );
+        let pilot = DriftPilot::new(DriftPilotConfig {
+            tap: campus.border_link,
+            deployed_fingerprint: known_good.fingerprint(),
+            ..cfg.pilot
+        });
+
+        // An always-on pipeline has no natural drain point: a candidate
+        // submitted just before traffic ends would leave the guard
+        // evaluating inconclusive empty windows forever. Cap the run at
+        // the workload span plus the configured settling margin — a
+        // deterministic sim-time bound, identical under every executor.
+        let deadline = SimTime::ZERO + scenario.workload.duration + cfg.settle;
+
+        DriftSession {
+            net,
+            hooks: DriftHooks::new(guard, controller, pilot),
+            handle,
+            victim,
+            attack_start,
+            deadline,
+        }
+    }
+
+    /// The session's hard stop (workload end + settle).
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Process every event up to `min(until, deadline)`. Returning from
+    /// this call is a quiescent barrier: no event is mid-dispatch, so a
+    /// checkpoint taken here is consistent.
+    pub fn run_until(&mut self, until: SimTime) {
+        let cap = if until < self.deadline { until } else { self.deadline };
+        self.net.run(&mut self.hooks, Some(cap));
+    }
+
+    /// Snapshot the full dynamic state at a quiescent barrier.
+    pub fn checkpoint(&mut self) -> PhoenixCheckpoint {
+        PhoenixCheckpoint {
+            net: self.net.checkpoint(),
+            hooks: self.hooks.freeze(),
+            bank: self.handle.freeze(),
+        }
+    }
+
+    /// Load a checkpoint into this (freshly built, not yet run) session.
+    /// The session must have been built from the same arguments as the
+    /// one that took the checkpoint — the simulator asserts topology and
+    /// seed agreement; hook configs are the caller's contract.
+    pub fn restore(&mut self, cp: PhoenixCheckpoint) {
+        self.net.restore(cp.net);
+        self.hooks.thaw_state(cp.hooks);
+        self.handle.thaw(cp.bank);
+    }
+
+    /// Run any remaining events to the deadline, then tear the session
+    /// down into the same [`DriftRunOutcome`] a drift road test produces.
+    pub fn finish(mut self) -> DriftRunOutcome {
+        self.run_until(self.deadline);
+
+        let mut tracer = Tracer::new();
+        let end_ns = self.net.now().as_nanos();
+        tracer.record("drift-roadtest".to_string(), 0, end_ns);
+        let (controller_obs, detector_obs) = self.hooks.controller.take_obs();
+        tracer.merge_from(&controller_obs.tracer);
+        let rollout_obs = self.hooks.guard.take_obs();
+        tracer.merge_from(&rollout_obs.tracer);
+        let drift_obs = self.hooks.pilot.take_obs();
+        tracer.merge_from(&drift_obs.tracer);
+
+        let filter = self.handle.stats();
+        DriftRunOutcome {
+            episodes: std::mem::take(&mut self.hooks.pilot.episodes),
+            retrains: std::mem::take(&mut self.hooks.pilot.retrains),
+            events: std::mem::take(&mut self.hooks.guard.events),
+            final_deployed: self.hooks.pilot.deployed_fingerprint(),
+            registry_len: self.hooks.guard.registry().len(),
+            filter,
+            net: self.net.stats,
+            victim: self.victim,
+            attack_start: self.attack_start,
+            obs: RunObs {
+                net: self.net.obs,
+                capture: None,
+                detector: Some(detector_obs),
+                controller: Some(controller_obs),
+                filter: Some(filter),
+                tracer,
+                rollout: Some(rollout_obs),
+                resolver: None,
+                drift: Some(drift_obs),
+                plaza: None,
+            },
+        }
+    }
+}
+
+/// The kill-point harness: a factory for identical sessions plus a
+/// checkpoint grid, with one method per leg of the recovery contract.
+pub struct CrashCart<F: Fn() -> DriftSession> {
+    make: F,
+    step: SimDuration,
+}
+
+impl<F: Fn() -> DriftSession> CrashCart<F> {
+    /// Harness sessions from `make` (which must build from identical
+    /// arguments every call), checkpointing every `step` of sim time.
+    pub fn new(make: F, step: SimDuration) -> Self {
+        assert!(step > SimDuration::ZERO, "checkpoint grid step must be positive");
+        CrashCart { make, step }
+    }
+
+    /// Build one fresh session from the harness's factory — for probes
+    /// (e.g. sizing a checkpoint) that want the exact sweep arguments.
+    pub fn make_session(&self) -> DriftSession {
+        (self.make)()
+    }
+
+    /// The checkpoint barriers: multiples of the grid step from the first
+    /// window up to and including the first one at or past the deadline.
+    /// Killing at the last barrier is legal (restore, resume zero events,
+    /// finish) — crash-during-teardown is a real failure mode too.
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        let deadline = (self.make)().deadline();
+        let step = self.step.as_nanos().max(1);
+        let mut out = Vec::new();
+        let mut k = 1u64;
+        loop {
+            let t = SimTime(step.saturating_mul(k));
+            out.push(t);
+            if t >= deadline {
+                return out;
+            }
+            k += 1;
+        }
+    }
+
+    /// The baseline leg: one session driven over the full grid with no
+    /// kill. Window-by-window driving equals a single uncapped run — the
+    /// event queue carries over between caps — so this fingerprint also
+    /// equals `drift_road_test`'s.
+    pub fn uninterrupted(&self) -> Fingerprint {
+        let grid = self.boundaries();
+        let mut session = (self.make)();
+        for &t in &grid {
+            session.run_until(t);
+        }
+        fingerprint(&session.finish())
+    }
+
+    /// The crash leg: run to boundary `kill` (an index into
+    /// [`CrashCart::boundaries`]), checkpoint, push the checkpoint through
+    /// the full encode → decode envelope (the bytes are all a dead
+    /// process leaves behind), drop the session, restore into a freshly
+    /// built one, and resume over the remaining grid.
+    pub fn killed_at(&self, kill: usize) -> Result<Fingerprint, PhoenixError> {
+        let grid = self.boundaries();
+        assert!(kill < grid.len(), "kill index {kill} outside grid of {}", grid.len());
+        let mut session = (self.make)();
+        for &t in &grid[..=kill] {
+            session.run_until(t);
+        }
+        let bytes = encode_checkpoint(&session.checkpoint());
+        drop(session); // the crash: nothing survives but the bytes
+        let cp = decode_checkpoint(&bytes)?;
+        let mut revived = (self.make)();
+        revived.restore(cp);
+        for &t in &grid[kill + 1..] {
+            revived.run_until(t);
+        }
+        Ok(fingerprint(&revived.finish()))
+    }
+
+    /// Kill at every boundary and diff each resumed fingerprint against
+    /// the uninterrupted baseline. Returns the mismatching boundary
+    /// indices — empty means the recovery contract holds everywhere.
+    pub fn sweep(&self) -> Vec<usize> {
+        let baseline = self.uninterrupted();
+        let mut mismatches = Vec::new();
+        for k in 0..self.boundaries().len() {
+            match self.killed_at(k) {
+                Ok(fp) if fp == baseline => {}
+                _ => mismatches.push(k),
+            }
+        }
+        mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driftpilot::drift_road_test;
+    use crate::scenario::collect;
+    use campuslab_control::{run_development_loop, DevLoopConfig, RolloutStage};
+    use campuslab_features::{window_dataset, LabelMode, WindowConfig};
+    use campuslab_ml::{DecisionTree, TreeConfig};
+
+    /// Train once per process: the dev loop is the expensive part of
+    /// every test here, and each test only needs its (deterministic)
+    /// output.
+    fn trained() -> &'static (PipelineProgram, DecisionTree) {
+        static TRAINED: std::sync::OnceLock<(PipelineProgram, DecisionTree)> =
+            std::sync::OnceLock::new();
+        TRAINED.get_or_init(|| {
+            let data = collect(&Scenario::small());
+            let dev = run_development_loop(&data.packets, &DevLoopConfig::default());
+            let wd = window_dataset(
+                &data.packets,
+                WindowConfig { window_ns: 1_000_000_000, min_packets: 5 },
+                LabelMode::BinaryAttack,
+            );
+            (dev.program, DecisionTree::fit(&wd, TreeConfig::shallow(4)))
+        })
+    }
+
+    /// A deliberately small crash-test scenario: the amplification campus
+    /// cut to a 5 s workload. Checkpoints stay small (the event queue
+    /// carries every unplayed injection) and one run is cheap enough to
+    /// sweep kill points over in debug CI — the full-size rotation drift
+    /// sweep is E19's job, in a release binary.
+    fn cheap_scenario() -> Scenario {
+        let mut s = Scenario::small();
+        s.workload.duration = SimDuration::from_secs(5);
+        s
+    }
+
+    fn cheap_session() -> DriftSession {
+        let (known_good, model) = trained();
+        DriftSession::new(
+            &cheap_scenario(),
+            known_good.clone(),
+            Box::new(model.clone()),
+            DriftRunConfig { settle: SimDuration::ZERO, ..DriftRunConfig::default() },
+        )
+    }
+
+    fn rotation_session() -> DriftSession {
+        let (known_good, model) = trained();
+        DriftSession::new(
+            &Scenario::drift_rotation(),
+            known_good.clone(),
+            Box::new(model.clone()),
+            DriftRunConfig::default(),
+        )
+    }
+
+    #[test]
+    fn windowed_session_equals_drift_road_test() {
+        let (known_good, model) = trained();
+        let road = drift_road_test(
+            &cheap_scenario(),
+            known_good.clone(),
+            Box::new(model.clone()),
+            DriftRunConfig { settle: SimDuration::ZERO, ..DriftRunConfig::default() },
+        );
+        let cart = CrashCart::new(cheap_session, SimDuration::from_secs(1));
+        assert_eq!(cart.uninterrupted(), fingerprint(&road));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_the_envelope() {
+        let mut session = cheap_session();
+        session.run_until(SimTime::from_millis(1_500));
+        let cp = session.checkpoint();
+        let bytes = encode_checkpoint(&cp);
+        let back = decode_checkpoint(&bytes).expect("clean envelope decodes");
+        assert_eq!(encode_checkpoint(&back), bytes, "re-encode is byte-identical");
+    }
+
+    /// The tentpole smoke: kill at every grid boundary (attack onset,
+    /// mid-mitigation, retrains, settle) and demand resumed ==
+    /// uninterrupted at each one. The randomized differential lives in
+    /// `tests/phoenix_diff.rs`; the full-size drift sweep is E19's.
+    #[test]
+    fn kill_at_every_boundary_resumes_byte_identically() {
+        let cart = CrashCart::new(cheap_session, SimDuration::from_secs(1));
+        assert_eq!(cart.sweep(), Vec::<usize>::new());
+    }
+
+    /// Satellite: a checkpoint taken while the guard is mid-canary (the
+    /// ladder's most state-laden stage: candidate mirror, cohort verdicts,
+    /// baselines, cooldowns) restores and converges identically.
+    #[test]
+    fn restore_mid_canary_preserves_the_ladder() {
+        // Walk the grid until a boundary catches the guard mid-ladder
+        // (shadow or canary: candidate mirror live, cohort verdicts and
+        // baselines accumulating — the ladder's most state-laden stages).
+        let grid_step = SimDuration::from_secs(1);
+        let mut live = rotation_session();
+        let deadline = live.deadline();
+        let mut found = false;
+        let mut t = SimTime::ZERO;
+        while t < deadline {
+            t += grid_step;
+            live.run_until(t);
+            if matches!(live.hooks.guard.stage(), RolloutStage::Canary | RolloutStage::Shadow) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "rotation drift must put the guard mid-ladder at some 1s boundary");
+        let mid_stage = live.hooks.guard.stage();
+        let cp = live.checkpoint();
+
+        let mut revived = rotation_session();
+        revived.restore(decode_checkpoint(&encode_checkpoint(&cp)).expect("decodes"));
+        assert_eq!(revived.hooks.guard.stage(), mid_stage, "ladder stage survives restore");
+
+        live.run_until(deadline);
+        revived.run_until(deadline);
+        assert_eq!(fingerprint(&revived.finish()), fingerprint(&live.finish()));
+    }
+
+    /// Satellite: a checkpoint taken inside an open drift episode (onset
+    /// stamped, not yet mitigated) restores with the episode still open
+    /// and closes it on the same sim-time schedule.
+    #[test]
+    fn restore_mid_drift_episode_closes_on_schedule() {
+        let grid_step = SimDuration::from_secs(1);
+        let mut live = rotation_session();
+        let deadline = live.deadline();
+        let mut found = false;
+        let mut t = SimTime::ZERO;
+        while t < deadline {
+            t += grid_step;
+            live.run_until(t);
+            if live.hooks.pilot.episodes.iter().any(|e| e.mitigated.is_none()) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "rotation drift must leave an episode open at some 1s boundary");
+        let cp = live.checkpoint();
+
+        let mut revived = rotation_session();
+        revived.restore(cp);
+        assert!(
+            revived.hooks.pilot.episodes.iter().any(|e| e.mitigated.is_none()),
+            "open episode survives restore"
+        );
+
+        live.run_until(deadline);
+        revived.run_until(deadline);
+        assert_eq!(fingerprint(&revived.finish()), fingerprint(&live.finish()));
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_version_skew_and_short_input() {
+        let mut session = cheap_session();
+        session.run_until(SimTime::from_millis(1_500));
+        let bytes = encode_checkpoint(&session.checkpoint());
+
+        assert!(matches!(
+            decode_checkpoint(&[]),
+            Err(PhoenixError::Truncated { got: 0, .. })
+        ));
+        assert!(matches!(
+            decode_checkpoint(&bytes[..HEADER_LEN - 1]),
+            Err(PhoenixError::Truncated { .. })
+        ));
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Q';
+        assert!(matches!(decode_checkpoint(&bad_magic), Err(PhoenixError::BadMagic { .. })));
+
+        let mut skew = bytes.clone();
+        skew[4..8].copy_from_slice(&(PHOENIX_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&skew).err(),
+            Some(PhoenixError::VersionSkew {
+                found: PHOENIX_VERSION + 1,
+                supported: PHOENIX_VERSION
+            })
+        );
+    }
+
+    /// Never-panic fuzz over the envelope decoder, in the house style of
+    /// the wire/pcap fuzzers: `CAMPUSLAB_FUZZ_CASES` scales the sweep.
+    /// Truncations at every prefix length (torn write), single-bit flips
+    /// across header and payload (storage corruption), and random byte
+    /// soup must all return a typed error or a valid checkpoint — never
+    /// panic, never a wrong-checksum accept.
+    #[test]
+    fn envelope_decoder_never_panics_on_corrupt_input() {
+        let mut session = cheap_session();
+        session.run_until(SimTime::from_millis(4_000));
+        let bytes = encode_checkpoint(&session.checkpoint());
+
+        let cases: u64 = std::env::var("CAMPUSLAB_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+
+        // Torn writes: every prefix of the header and an env-scaled
+        // sample of payload prefixes must decode to a typed error.
+        for len in 0..HEADER_LEN.min(bytes.len()) {
+            assert!(decode_checkpoint(&bytes[..len]).is_err());
+        }
+        let stride = (bytes.len() / cases.max(1) as usize).max(1);
+        for len in (HEADER_LEN..bytes.len()).step_by(stride) {
+            assert!(
+                decode_checkpoint(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded clean"
+            );
+        }
+
+        // Bit flips: one flipped bit anywhere must surface as a typed
+        // error (magic/version/length/checksum), or — only when the flip
+        // lands in the crc field's own representation — still checksum.
+        let mut x = 0x9E3779B97F4A7C15u64; // splitmix stream, deterministic
+        for _ in 0..cases {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545F4914F6CDD1D);
+            let pos = (r as usize) % bytes.len();
+            let bit = (r >> 48) as u8 & 7;
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 1 << bit;
+            assert!(
+                decode_checkpoint(&flipped).is_err(),
+                "single-bit flip at byte {pos} bit {bit} decoded clean"
+            );
+        }
+
+        // Byte soup: random garbage of assorted lengths.
+        for i in 0..cases {
+            x = x.wrapping_add(0x9E3779B97F4A7C15).wrapping_mul(i | 1);
+            let len = (x % 256) as usize;
+            let soup: Vec<u8> = (0..len)
+                .map(|j| (x.rotate_left(j as u32 % 63) >> 13) as u8)
+                .collect();
+            let _ = decode_checkpoint(&soup); // must not panic
+        }
+    }
+}

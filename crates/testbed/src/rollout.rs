@@ -9,8 +9,8 @@ use crate::observe::RunObs;
 use crate::roadtest::RoadTestConfig;
 use crate::scenario::{build_schedule, Scenario};
 use campuslab_control::{
-    BankFilter, MitigationController, MitigationControllerConfig, RolloutConfig, RolloutEvent,
-    RolloutGuard, RolloutStage, SloPolicy,
+    BankFilter, FrozenController, FrozenGuard, MitigationController, MitigationControllerConfig,
+    RolloutConfig, RolloutEvent, RolloutGuard, RolloutStage, SloPolicy,
 };
 use campuslab_dataplane::{FieldExtractor, PipelineProgram};
 use campuslab_ml::Classifier;
@@ -97,6 +97,38 @@ impl GuardedHooks {
         }
         self.seen_giveups = self.controller.giveups.len();
     }
+
+    /// Snapshot the composed pair's dynamic state for a checkpoint: both
+    /// layers' frozen mirrors plus the sync cursors, so a restored pair
+    /// neither re-forwards evidence the guard already saw nor skips
+    /// evidence produced after the snapshot.
+    pub fn freeze(&self) -> FrozenGuardedHooks {
+        FrozenGuardedHooks {
+            guard: self.guard.freeze(),
+            controller: self.controller.freeze(),
+            seen_events: self.seen_events,
+            seen_giveups: self.seen_giveups,
+        }
+    }
+
+    /// Apply a frozen snapshot onto a freshly built pair (same configs,
+    /// same bank handle). Counterpart of [`GuardedHooks::freeze`].
+    pub fn thaw_state(&mut self, frozen: FrozenGuardedHooks) {
+        self.guard.thaw_state(frozen.guard);
+        self.controller.thaw_state(frozen.controller);
+        self.seen_events = frozen.seen_events;
+        self.seen_giveups = frozen.seen_giveups;
+    }
+}
+
+/// Checkpoint mirror of [`GuardedHooks`]: the guard's and controller's
+/// frozen state plus the evidence-sync cursors between them.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrozenGuardedHooks {
+    pub guard: FrozenGuard,
+    pub controller: FrozenController,
+    pub seen_events: usize,
+    pub seen_giveups: usize,
 }
 
 impl SimHooks for GuardedHooks {

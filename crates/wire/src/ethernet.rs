@@ -6,7 +6,7 @@ use crate::{be16, Error, Result};
 pub const ETHERNET_HEADER_LEN: usize = 14;
 
 /// A 48-bit IEEE 802 MAC address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
 pub struct EthernetAddress(pub [u8; 6]);
 
 impl EthernetAddress {

@@ -5,7 +5,7 @@ use crate::checksum;
 use crate::{be16, Error, Result};
 
 /// The ICMPv4 messages CampusLab distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum IcmpType {
     EchoReply,
     EchoRequest,
@@ -43,7 +43,7 @@ impl IcmpType {
 ///
 /// For echo messages `rest` carries identifier/sequence in its first four
 /// bytes; for error messages it carries the offending datagram's prefix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IcmpRepr {
     pub icmp_type: IcmpType,
     /// The "rest of header" word (identifier/sequence for echo, unused for

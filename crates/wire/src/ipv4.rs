@@ -8,7 +8,7 @@ use std::net::Ipv4Addr;
 pub const IPV4_HEADER_LEN: usize = 20;
 
 /// IP protocol numbers CampusLab understands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub enum IpProtocol {
     Icmp,
     Tcp,
@@ -55,7 +55,7 @@ impl std::fmt::Display for IpProtocol {
 /// Fragmentation fields beyond the DF bit are not modelled: the campus
 /// simulator never emits fragments (a parse of a fragment fails with
 /// [`Error::Unsupported`] so the capture plane can count them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Ipv4Repr {
     pub src: Ipv4Addr,
     pub dst: Ipv4Addr,

@@ -12,7 +12,7 @@ pub const IPV6_HEADER_LEN: usize = 40;
 /// Extension headers are not modelled; a packet whose next-header field is
 /// an extension header parses with `protocol = IpProtocol::Other(..)` and an
 /// opaque payload, which is what a border monitor would record anyway.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Ipv6Repr {
     pub src: Ipv6Addr,
     pub dst: Ipv6Addr,

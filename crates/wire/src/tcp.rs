@@ -8,7 +8,7 @@ pub const TCP_HEADER_LEN: usize = 20;
 
 /// The control flags relevant to flow tracking, as a compact enum for the
 /// common shapes plus access to the raw bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct TcpControl {
     pub syn: bool,
     pub ack: bool,
@@ -62,7 +62,7 @@ impl TcpControl {
 }
 
 /// A parsed/parseable TCP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TcpRepr {
     pub src_port: u16,
     pub dst_port: u16,

@@ -24,7 +24,7 @@ impl PseudoHeader {
 }
 
 /// A parsed/parseable UDP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct UdpRepr {
     pub src_port: u16,
     pub dst_port: u16,

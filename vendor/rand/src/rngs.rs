@@ -19,6 +19,19 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// Expose the raw xoshiro256++ state word-for-word, so simulators can
+    /// checkpoint an RNG mid-stream and restore it bit-exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild an RNG from state captured by [`StdRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;

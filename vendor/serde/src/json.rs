@@ -236,13 +236,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                let c = rest.chars().next().unwrap();
-                s.push(c);
-                *pos += c.len_utf8();
+            Some(&b) => {
+                // Bulk-copy the maximal run of ordinary bytes. The loop
+                // breaks only at ASCII delimiters (quote, backslash,
+                // control), which cannot appear inside a multi-byte UTF-8
+                // scalar, so the run is validated once as a unit —
+                // re-validating the whole remaining input per character
+                // would be quadratic on multi-megabyte documents.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                if *pos == start {
+                    // A raw control byte: tolerated, as the old
+                    // scalar-at-a-time reader did.
+                    s.push(b as char);
+                    *pos += 1;
+                } else {
+                    let run = std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    s.push_str(run);
+                }
             }
         }
     }

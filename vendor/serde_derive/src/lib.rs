@@ -440,7 +440,7 @@ fn gen_deserialize(def: &TypeDef) -> String {
     format!(
         "impl serde::Deserialize for {name} {{\n\
              fn deserialize_json(v: &serde::json::Value) \
-                 -> Result<Self, serde::json::Error> {{\n\
+                 -> std::result::Result<Self, serde::json::Error> {{\n\
                  let _ = &v;\n{body}\n}}\n\
          }}"
     )
